@@ -1,0 +1,195 @@
+//! Call graph construction.
+
+use atomig_mir::{Callee, FuncId, InstKind, Module};
+use std::collections::HashSet;
+
+/// The static call graph of a module (direct calls only; spawn targets are
+/// recorded as edges too, since the spawned function runs the same code).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` = functions directly called (or spawned) by `f`.
+    callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` = functions calling `f`.
+    callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `m`.
+    pub fn new(m: &Module) -> CallGraph {
+        let n = m.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            let mut seen = HashSet::new();
+            for (_, inst) in f.insts() {
+                if let InstKind::Call { callee, args, .. } = &inst.kind {
+                    let mut add = |target: FuncId| {
+                        if seen.insert(target) {
+                            callees[fid.0 as usize].push(target);
+                            callers[target.0 as usize].push(fid);
+                        }
+                    };
+                    if let Callee::Func(target) = callee {
+                        add(*target);
+                    }
+                    // Function references passed as arguments (spawn).
+                    for a in args {
+                        if let atomig_mir::Value::Func(target) = a {
+                            add(*target);
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions called by `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.0 as usize]
+    }
+
+    /// Functions calling `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.0 as usize]
+    }
+
+    /// Whether `f` (transitively) calls itself.
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        let mut visited = HashSet::new();
+        let mut stack: Vec<FuncId> = self.callees(f).to_vec();
+        while let Some(g) = stack.pop() {
+            if g == f {
+                return true;
+            }
+            if visited.insert(g) {
+                stack.extend(self.callees(g).iter().copied());
+            }
+        }
+        false
+    }
+
+    /// A bottom-up (callees before callers) ordering of all functions.
+    /// Cycles are broken arbitrarily.
+    pub fn bottom_up_order(&self) -> Vec<FuncId> {
+        let n = self.callees.len();
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = new, 1 = open, 2 = done
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(FuncId, usize)> = vec![(FuncId(start as u32), 0)];
+            state[start] = 1;
+            while let Some(&mut (f, ref mut i)) = stack.last_mut() {
+                let cs = &self.callees[f.0 as usize];
+                if *i < cs.len() {
+                    let c = cs[*i];
+                    *i += 1;
+                    if state[c.0 as usize] == 0 {
+                        state[c.0 as usize] = 1;
+                        stack.push((c, 0));
+                    }
+                } else {
+                    state[f.0 as usize] = 2;
+                    order.push(f);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomig_mir::parse_module;
+
+    const SRC: &str = r#"
+    fn @leaf() : void {
+    bb0:
+      ret
+    }
+    fn @mid() : void {
+    bb0:
+      call void @leaf()
+      ret
+    }
+    fn @top() : void {
+    bb0:
+      call void @mid()
+      call void @leaf()
+      ret
+    }
+    "#;
+
+    #[test]
+    fn edges() {
+        let m = parse_module(SRC).unwrap();
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.callees(FuncId(2)), &[FuncId(1), FuncId(0)]);
+        assert_eq!(cg.callers(FuncId(0)), &[FuncId(1), FuncId(2)]);
+        assert!(cg.callees(FuncId(0)).is_empty());
+    }
+
+    #[test]
+    fn bottom_up_puts_leaf_first() {
+        let m = parse_module(SRC).unwrap();
+        let cg = CallGraph::new(&m);
+        let order = cg.bottom_up_order();
+        let pos = |f: FuncId| order.iter().position(|x| *x == f).unwrap();
+        assert!(pos(FuncId(0)) < pos(FuncId(1)));
+        assert!(pos(FuncId(1)) < pos(FuncId(2)));
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let m = parse_module(
+            r#"
+            fn @a() : void {
+            bb0:
+              call void @b()
+              ret
+            }
+            fn @b() : void {
+            bb0:
+              call void @a()
+              ret
+            }
+            fn @c() : void {
+            bb0:
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let cg = CallGraph::new(&m);
+        assert!(cg.is_recursive(FuncId(0)));
+        assert!(cg.is_recursive(FuncId(1)));
+        assert!(!cg.is_recursive(FuncId(2)));
+    }
+
+    #[test]
+    fn spawn_target_is_an_edge() {
+        let m = parse_module(
+            r#"
+            fn @worker(%a: i64) : void {
+            bb0:
+              ret
+            }
+            fn @main() : void {
+            bb0:
+              %t = call i64 @spawn(@worker, 0)
+              call void @join(%t)
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let cg = CallGraph::new(&m);
+        assert_eq!(cg.callees(FuncId(1)), &[FuncId(0)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Control-flow graph utilities.
+
+use atomig_mir::{BlockId, Function};
+
+/// Predecessor/successor structure and traversal orders of a function.
+///
+/// # Examples
+///
+/// ```
+/// use atomig_mir::parse_module;
+/// use atomig_analysis::Cfg;
+///
+/// let m = parse_module(r#"
+/// fn @f(%c: i1) : void {
+/// bb0:
+///   condbr %c, bb1, bb2
+/// bb1:
+///   br bb2
+/// bb2:
+///   ret
+/// }
+/// "#)?;
+/// let cfg = Cfg::new(&m.funcs[0]);
+/// assert_eq!(cfg.preds(atomig_mir::BlockId(2)).len(), 2);
+/// # Ok::<(), atomig_mir::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.block(b).term.successors() {
+                succs[b.0 as usize].push(s);
+                preds[s.0 as usize].push(b);
+            }
+        }
+        // Post-order DFS from the entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        if n > 0 {
+            visited[0] = true;
+        }
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.0 as usize] {
+                    visited[next.0 as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.0 as usize];
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomig_mir::parse_module;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let m = parse_module(src).unwrap();
+        Cfg::new(&m.funcs[0])
+    }
+
+    #[test]
+    fn diamond() {
+        let cfg = cfg_of(
+            r#"
+            fn @f(%c: i1) : void {
+            a:
+              condbr %c, b, c
+            b:
+              br d
+            c:
+              br d
+            d:
+              ret
+            }
+            "#,
+        );
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(*cfg.rpo().last().unwrap(), BlockId(3));
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn self_loop() {
+        let cfg = cfg_of(
+            r#"
+            fn @f(%c: i1) : void {
+            a:
+              condbr %c, a, b
+            b:
+              ret
+            }
+            "#,
+        );
+        assert!(cfg.preds(BlockId(0)).contains(&BlockId(0)));
+        assert_eq!(cfg.rpo().len(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let cfg = cfg_of(
+            r#"
+            fn @f() : void {
+            a:
+              ret
+            dead:
+              ret
+            }
+            "#,
+        );
+        assert_eq!(cfg.rpo().len(), 1);
+        assert!(!cfg.is_reachable(BlockId(1)));
+        assert_eq!(cfg.block_count(), 2);
+    }
+
+    #[test]
+    fn rpo_visits_loop_header_before_body() {
+        let cfg = cfg_of(
+            r#"
+            fn @f(%c: i1) : void {
+            entry:
+              br header
+            header:
+              condbr %c, body, exit
+            body:
+              br header
+            exit:
+              ret
+            }
+            "#,
+        );
+        let h = cfg.rpo_index(BlockId(1)).unwrap();
+        let b = cfg.rpo_index(BlockId(2)).unwrap();
+        assert!(h < b);
+    }
+}

@@ -1,0 +1,289 @@
+//! Escape analysis: which stack slots stay private to the function?
+//!
+//! The paper (§3.3): "A memory access is non-local in a function if it may
+//! also be accessed from outside that function; e.g., a global variable, a
+//! function argument passed by reference, or a stack variable whose address
+//! is taken and escapes the function scope."
+
+use atomig_mir::{Function, InstId, InstKind, Terminator, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Escape information for one function.
+#[derive(Debug, Clone)]
+pub struct EscapeInfo {
+    /// Allocas whose address escapes the function.
+    escaping: HashSet<InstId>,
+    /// All alloca instruction ids.
+    allocas: HashSet<InstId>,
+    /// `value -> root alloca` cache for address chasing.
+    roots: HashMap<InstId, Option<InstId>>,
+}
+
+impl EscapeInfo {
+    /// Computes escape information for `func`.
+    pub fn new(func: &Function) -> EscapeInfo {
+        let index = func.inst_index();
+        let allocas: HashSet<InstId> = index
+            .iter()
+            .filter(|(_, k)| matches!(k, InstKind::Alloca { .. }))
+            .map(|(id, _)| *id)
+            .collect();
+
+        // Chase a value back through gep/cast to its root alloca (if any).
+        let mut roots: HashMap<InstId, Option<InstId>> = HashMap::new();
+        fn root_of(
+            v: Value,
+            index: &HashMap<InstId, &InstKind>,
+            allocas: &HashSet<InstId>,
+            roots: &mut HashMap<InstId, Option<InstId>>,
+            depth: u32,
+        ) -> Option<InstId> {
+            if depth == 0 {
+                return None;
+            }
+            let id = v.as_inst()?;
+            if let Some(r) = roots.get(&id) {
+                return *r;
+            }
+            let r = match index.get(&id) {
+                Some(InstKind::Alloca { .. }) if allocas.contains(&id) => Some(id),
+                Some(InstKind::Gep { base, .. }) => {
+                    root_of(*base, index, allocas, roots, depth - 1)
+                }
+                Some(InstKind::Cast { value, .. }) => {
+                    root_of(*value, index, allocas, roots, depth - 1)
+                }
+                _ => None,
+            };
+            roots.insert(id, r);
+            r
+        }
+
+        // A use escapes the slot when the *address value* flows somewhere
+        // we cannot see: stored as data, passed to a call, or returned.
+        let mut escaping = HashSet::new();
+        {
+            let mut mark = |v: Value| {
+                if let Some(a) = root_of(v, &index, &allocas, &mut roots, 32) {
+                    escaping.insert(a);
+                }
+            };
+            for (_, inst) in func.insts() {
+                match &inst.kind {
+                    InstKind::Store { val, .. } => mark(*val),
+                    InstKind::Call { args, .. } => {
+                        for a in args {
+                            mark(*a);
+                        }
+                    }
+                    InstKind::Cmpxchg { expected, new, .. } => {
+                        mark(*expected);
+                        mark(*new);
+                    }
+                    InstKind::Rmw { val, .. } => mark(*val),
+                    _ => {}
+                }
+            }
+            for b in func.block_ids() {
+                if let Terminator::Ret(Some(v)) = func.block(b).term {
+                    mark(v);
+                }
+            }
+        }
+
+        // Pre-warm the root cache for all address operands so later queries
+        // are pure lookups (the paper caches its scope queries, §3.5).
+        for (_, inst) in func.insts() {
+            if let Some(ptr) = inst.kind.address() {
+                root_of(ptr, &index, &allocas, &mut roots, 32);
+            }
+        }
+
+        EscapeInfo {
+            escaping,
+            allocas,
+            roots,
+        }
+    }
+
+    /// Whether `id` is an alloca whose address never escapes.
+    pub fn is_private_slot(&self, id: InstId) -> bool {
+        self.allocas.contains(&id) && !self.escaping.contains(&id)
+    }
+
+    /// The root private alloca behind an address value, if any.
+    pub fn private_root(&self, ptr: Value) -> Option<InstId> {
+        match ptr {
+            Value::Inst(id) => {
+                let root = if self.allocas.contains(&id) {
+                    Some(id)
+                } else {
+                    self.roots.get(&id).copied().flatten()
+                }?;
+                self.is_private_slot(root).then_some(root)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether an access through `ptr` is **non-local** in the paper's
+    /// sense: not provably confined to a private stack slot.
+    pub fn is_nonlocal(&self, ptr: Value) -> bool {
+        self.private_root(ptr).is_none()
+    }
+
+    /// Number of escaping allocas (diagnostics).
+    pub fn escaping_count(&self) -> usize {
+        self.escaping.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomig_mir::parse_module;
+
+    fn info_of(src: &str) -> (atomig_mir::Module, EscapeInfo) {
+        let m = parse_module(src).unwrap();
+        let info = EscapeInfo::new(&m.funcs[0]);
+        (m, info)
+    }
+
+    #[test]
+    fn private_local_variable() {
+        let (m, info) = info_of(
+            r#"
+            fn @f() : i32 {
+            bb0:
+              %x = alloca i32
+              store i32 5, %x
+              %v = load i32, %x
+              ret %v
+            }
+            "#,
+        );
+        let f = &m.funcs[0];
+        let alloca_id = f.blocks[0].insts[0].id;
+        assert!(info.is_private_slot(alloca_id));
+        assert!(!info.is_nonlocal(Value::Inst(alloca_id)));
+    }
+
+    #[test]
+    fn address_passed_to_call_escapes() {
+        let (m, info) = info_of(
+            r#"
+            fn @g(%p: ptr i32) : void {
+            bb0:
+              ret
+            }
+            fn @f() : void {
+            bb0:
+              %x = alloca i32
+              call void @g(%x)
+              ret
+            }
+            "#,
+        );
+        // info is for @g (funcs[0]); recompute for @f.
+        let info_f = EscapeInfo::new(&m.funcs[1]);
+        let alloca_id = m.funcs[1].blocks[0].insts[0].id;
+        assert!(!info_f.is_private_slot(alloca_id));
+        assert!(info_f.is_nonlocal(Value::Inst(alloca_id)));
+        drop(info);
+    }
+
+    #[test]
+    fn address_stored_to_memory_escapes() {
+        let (m, info) = info_of(
+            r#"
+            global @p: ptr i32 = 0
+            fn @f() : void {
+            bb0:
+              %x = alloca i32
+              store ptr i32 %x, @p
+              ret
+            }
+            "#,
+        );
+        let alloca_id = m.funcs[0].blocks[0].insts[0].id;
+        assert!(info.is_nonlocal(Value::Inst(alloca_id)));
+    }
+
+    #[test]
+    fn returned_address_escapes() {
+        let (m, info) = info_of(
+            r#"
+            fn @f() : ptr i32 {
+            bb0:
+              %x = alloca i32
+              ret %x
+            }
+            "#,
+        );
+        let alloca_id = m.funcs[0].blocks[0].insts[0].id;
+        assert!(info.is_nonlocal(Value::Inst(alloca_id)));
+    }
+
+    #[test]
+    fn gep_into_private_array_stays_local() {
+        let (m, info) = info_of(
+            r#"
+            fn @f() : void {
+            bb0:
+              %a = alloca [4 x i32]
+              %e = gep [4 x i32], %a, 0, 2
+              store i32 1, %e
+              ret
+            }
+            "#,
+        );
+        let f = &m.funcs[0];
+        let gep = f.blocks[0].insts[1].id;
+        assert!(!info.is_nonlocal(Value::Inst(gep)));
+        assert_eq!(
+            info.private_root(Value::Inst(gep)),
+            Some(f.blocks[0].insts[0].id)
+        );
+    }
+
+    #[test]
+    fn globals_and_params_are_nonlocal() {
+        let (_, info) = info_of(
+            r#"
+            global @g: i32 = 0
+            fn @f(%p: ptr i32) : void {
+            bb0:
+              %v = load i32, %p
+              %w = load i32, @g
+              ret
+            }
+            "#,
+        );
+        assert!(info.is_nonlocal(Value::Param(0)));
+        assert!(info.is_nonlocal(Value::Global(atomig_mir::GlobalId(0))));
+    }
+
+    #[test]
+    fn escape_via_gep_of_address() {
+        // Passing &x[1] to a call escapes x.
+        let (m, info) = info_of(
+            r#"
+            fn @g(%p: ptr i32) : void {
+            bb0:
+              ret
+            }
+            fn @f() : void {
+            bb0:
+              %a = alloca [4 x i32]
+              %e = gep [4 x i32], %a, 0, 1
+              call void @g(%e)
+              ret
+            }
+            "#,
+        );
+        let info_f = EscapeInfo::new(&m.funcs[1]);
+        let alloca_id = m.funcs[1].blocks[0].insts[0].id;
+        assert!(info_f.is_nonlocal(Value::Inst(alloca_id)));
+        drop(info);
+    }
+}

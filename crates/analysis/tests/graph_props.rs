@@ -1,0 +1,113 @@
+//! Property-based tests of the CFG, dominator, and loop machinery on
+//! randomly generated control-flow graphs.
+
+use atomig_analysis::{find_loops, Cfg, DomTree};
+use atomig_mir::{Block, BlockId, Function, Terminator, Type, Value};
+use proptest::prelude::*;
+
+/// Builds a function whose CFG is given by `(kind, t1, t2)` per block:
+/// kind 0 = Ret, 1 = Br(t1), 2 = CondBr(t1, t2).
+fn build_cfg(spec: &[(u8, usize, usize)]) -> Function {
+    let n = spec.len().max(1);
+    let mut f = Function::new("g", vec![], Type::Void);
+    f.blocks.clear();
+    for (i, &(kind, t1, t2)) in spec.iter().enumerate() {
+        let term = match kind % 3 {
+            0 => Terminator::Ret(None),
+            1 => Terminator::Br(BlockId((t1 % n) as u32)),
+            _ => Terminator::CondBr {
+                cond: Value::Const(1),
+                then_bb: BlockId((t1 % n) as u32),
+                else_bb: BlockId((t2 % n) as u32),
+            },
+        };
+        f.blocks.push(Block {
+            name: format!("b{i}"),
+            insts: vec![],
+            term,
+        });
+    }
+    if f.blocks.is_empty() {
+        f.blocks.push(Block {
+            name: "b0".into(),
+            insts: vec![],
+            term: Terminator::Ret(None),
+        });
+    }
+    f
+}
+
+fn arb_cfg() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+    proptest::collection::vec((0u8..3, 0usize..12, 0usize..12), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The entry dominates every reachable block; the immediate dominator
+    /// dominates its block; dominance is acyclic towards the entry.
+    #[test]
+    fn dominator_invariants(spec in arb_cfg()) {
+        let f = build_cfg(&spec);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        for &b in cfg.rpo() {
+            prop_assert!(dom.dominates(BlockId(0), b), "entry must dominate {b}");
+            let idom = dom.idom(b).expect("reachable blocks have an idom");
+            prop_assert!(dom.dominates(idom, b));
+            if b != BlockId(0) {
+                prop_assert!(idom != b, "only the entry self-dominates");
+                // Walking idoms terminates at the entry.
+                let mut cur = b;
+                let mut steps = 0;
+                while cur != BlockId(0) {
+                    cur = dom.idom(cur).expect("chain stays reachable");
+                    steps += 1;
+                    prop_assert!(steps <= f.blocks.len(), "idom chain cycles");
+                }
+            }
+        }
+    }
+
+    /// Every predecessor edge has a matching successor edge and both ends
+    /// in range.
+    #[test]
+    fn cfg_edges_are_symmetric(spec in arb_cfg()) {
+        let f = build_cfg(&spec);
+        let cfg = Cfg::new(&f);
+        for b in f.block_ids() {
+            for &s in cfg.succs(b) {
+                prop_assert!((s.0 as usize) < f.blocks.len());
+                prop_assert!(cfg.preds(s).contains(&b));
+            }
+            for &p in cfg.preds(b) {
+                prop_assert!(cfg.succs(p).contains(&b));
+            }
+        }
+    }
+
+    /// Natural loops: the header dominates every body block, the header is
+    /// in its own body, and some body block branches back to the header.
+    #[test]
+    fn natural_loop_invariants(spec in arb_cfg()) {
+        let f = build_cfg(&spec);
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&cfg);
+        for l in find_loops(&f, &cfg, &dom) {
+            prop_assert!(l.body.contains(&l.header));
+            for &b in &l.body {
+                prop_assert!(dom.dominates(l.header, b), "{} !dom {b}", l.header);
+            }
+            let has_backedge = l
+                .body
+                .iter()
+                .any(|&b| f.block(b).term.successors().contains(&l.header));
+            prop_assert!(has_backedge, "loop at {} has no backedge", l.header);
+            for exit in &l.exits {
+                prop_assert!(l.body.contains(&exit.block));
+                prop_assert!(!l.body.contains(&exit.exit_bb));
+                prop_assert!(l.body.contains(&exit.continue_bb));
+            }
+        }
+    }
+}

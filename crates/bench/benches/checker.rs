@@ -1,0 +1,36 @@
+//! Model-checker throughput on the litmus suite and the Table 2 clients
+//! (the machinery behind §4.1).
+
+use atomig_core::Stage;
+use atomig_wmm::{litmus, Checker, ModelKind};
+use atomig_workloads::{ck, compile_stage};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_litmus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(20);
+    for lit in litmus::all() {
+        let m = lit.module();
+        group.bench_function(format!("arm/{}", lit.name), |b| {
+            b.iter(|| Checker::new(ModelKind::Arm).check(&m, "main"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let (ring, _) = compile_stage(&ck::ring_mc(), "ck_ring", Stage::Full);
+    group.bench_function("ck_ring/full", |b| {
+        b.iter(|| Checker::new(ModelKind::Arm).check(&ring, "main"))
+    });
+    let (seq, _) = compile_stage(&ck::sequence_mc(), "ck_sequence", Stage::Full);
+    group.bench_function("ck_sequence/full", |b| {
+        b.iter(|| Checker::new(ModelKind::Arm).check(&seq, "main"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_litmus, bench_table2_rows);
+criterion_main!(benches);

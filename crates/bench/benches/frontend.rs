@@ -1,0 +1,35 @@
+//! MiniC frontend throughput (the "initial compilation" column of the
+//! Table 3 build-time story).
+
+use atomig_workloads::synth::{generate, GenConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_compile(c: &mut Criterion) {
+    let app = generate(GenConfig {
+        mp_waiters: 8,
+        tas_locks: 4,
+        seqlocks: 2,
+        atomics: 8,
+        volatiles: 4,
+        asm_fences: 2,
+        decoys: 8,
+        plain_funcs: 120,
+        seed: 3,
+    });
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(app.source.len() as u64));
+    group.bench_function("compile_synth", |b| {
+        b.iter(|| atomig_frontc::compile(&app.source, "synth").expect("compiles"))
+    });
+    group.bench_function("lex_parse_only", |b| {
+        b.iter(|| {
+            let toks = atomig_frontc::lex(&app.source).expect("lexes");
+            atomig_frontc::parse(&toks).expect("parses")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Deterministic-interpreter throughput (the machinery behind Tables 4–6).
+
+use atomig_workloads::{apps, compile_baseline, phoenix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(10);
+    for name in ["memcached", "sqlite"] {
+        let module = compile_baseline(&apps::app_perf(name, 40), name);
+        let probe = atomig_wmm::run_default(&module);
+        assert!(probe.ok());
+        group.throughput(Throughput::Elements(probe.steps));
+        group.bench_function(format!("app/{name}"), |b| {
+            b.iter(|| atomig_wmm::run_default(&module))
+        });
+    }
+    group.finish();
+}
+
+fn bench_phoenix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_phoenix");
+    group.sample_size(10);
+    for name in ["histogram", "matrix_multiply"] {
+        let module = compile_baseline(&phoenix::kernel(name, 2), name);
+        group.bench_function(name, |b| b.iter(|| atomig_wmm::run_default(&module)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_phoenix);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Pass throughput over synthetic modules of increasing size — the
+//! scalability curve behind Table 3 (the paper's "within minutes" /
+//! "2–3x build time" claim).
+
+use atomig_core::{AtomigConfig, Pipeline};
+use atomig_workloads::synth::{generate, GenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn config_of_size(k: u32) -> GenConfig {
+    GenConfig {
+        mp_waiters: 2 * k,
+        tas_locks: k,
+        seqlocks: k / 2 + 1,
+        atomics: k,
+        volatiles: k / 2 + 1,
+        asm_fences: k / 4 + 1,
+        decoys: k,
+        plain_funcs: 20 * k,
+        seed: 7,
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for k in [1u32, 4, 16] {
+        let app = generate(config_of_size(k));
+        let module = atomig_frontc::compile(&app.source, "synth").expect("compiles");
+        group.throughput(criterion::Throughput::Elements(module.inst_count() as u64));
+        group.bench_with_input(BenchmarkId::new("full_port", app.sloc), &module, |b, m| {
+            b.iter(|| {
+                let mut cfg = AtomigConfig::full();
+                cfg.inline = false;
+                let mut cloned = m.clone();
+                Pipeline::new(cfg).port_module(&mut cloned)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alias_map(c: &mut Criterion) {
+    let app = generate(config_of_size(8));
+    let module = atomig_frontc::compile(&app.source, "synth").expect("compiles");
+    c.bench_function("alias_map_build", |b| {
+        b.iter(|| atomig_core::AliasMap::build(&module, false))
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_alias_map);
+criterion_main!(benches);

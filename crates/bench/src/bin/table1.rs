@@ -1,0 +1,23 @@
+//! Regenerates Table 1: comparison of porting approaches.
+
+use atomig_bench::render_table;
+use atomig_core::approach_matrix;
+
+fn main() {
+    let rows: Vec<Vec<String>> = approach_matrix()
+        .into_iter()
+        .map(|(name, cells)| {
+            let mut row = vec![name.to_string()];
+            row.extend(cells.iter().map(|c| c.to_string()));
+            row
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 1: Comparison of Porting Approaches (Y = yes, x = no, = partly)",
+            &["Approach", "Safe", "Efficient", "Scalable", "Practical"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,79 @@
+//! # atomig-bench
+//!
+//! Harnesses that regenerate every table of the AtoMig paper:
+//!
+//! | Binary  | Reproduces |
+//! |---------|------------|
+//! | `table1` | The qualitative comparison of porting approaches |
+//! | `table2` | GenMC-style verdicts per detection stage |
+//! | `table3` | Pattern census, build times and barrier counts on the five (synthetic) large applications |
+//! | `table4` | Dynamically executed barrier counts on the Memcached kernel |
+//! | `table5` | Naïve vs AtoMig slowdowns on all twelve benchmarks |
+//! | `table6` | Phoenix: Naïve vs Lasagne vs AtoMig |
+//!
+//! Run e.g. `cargo run -p atomig-bench --release --bin table2`. The
+//! Criterion benches (`cargo bench`) measure the *machinery*: pass
+//! throughput over growing modules, model-checker throughput, interpreter
+//! throughput, and frontend throughput.
+
+use std::fmt::Write as _;
+
+/// Renders an ASCII table: a header row plus data rows.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let _ = writeln!(out, "+{line}+");
+    let hdr: Vec<String> = header
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    let _ = writeln!(out, "|{}|", hdr.join("|"));
+    let _ = writeln!(out, "+{line}+");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        let _ = writeln!(out, "|{}|", cells.join("|"));
+    }
+    let _ = writeln!(out, "+{line}+");
+    out
+}
+
+/// Formats a slowdown factor like the paper (two decimals).
+pub fn factor(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rectangular_tables() {
+        let t = render_table(
+            "T",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("| 333 | 4  |"));
+        assert!(t.starts_with("T\n"));
+    }
+
+    #[test]
+    fn factor_formats_two_decimals() {
+        assert_eq!(factor(1.005), "1.00");
+        assert_eq!(factor(2.491), "2.49");
+    }
+}

@@ -1,0 +1,364 @@
+//! Implementation of the `atomig` command-line tool.
+//!
+//! Mirrors the paper's workflow (Figure 2) as a CLI:
+//!
+//! ```console
+//! $ atomig port prog.c              # port and print the transformed IR
+//! $ atomig port prog.c --report     # print the porting report instead
+//! $ atomig port prog.c --stage spin # stop after spinloop detection
+//! $ atomig check prog.c --model arm # exhaustively model-check @main
+//! $ atomig run prog.c               # run deterministically, print cost
+//! ```
+
+use atomig_core::{AtomigConfig, Pipeline, Stage};
+use atomig_wmm::{Checker, CostModel, ModelKind};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `atomig port <file> [--stage s] [--report] [--naive|--lasagne]`
+    Port {
+        /// Input path.
+        file: String,
+        /// Detection stage.
+        stage: Stage,
+        /// Print the report instead of the transformed IR.
+        report_only: bool,
+        /// Apply the Naïve baseline instead of AtoMig.
+        naive: bool,
+        /// Apply the Lasagne-style baseline instead of AtoMig.
+        lasagne: bool,
+    },
+    /// `atomig check <file> [--model m] [--ported]`
+    Check {
+        /// Input path.
+        file: String,
+        /// Memory model to explore.
+        model: ModelKind,
+        /// Port with full AtoMig before checking.
+        ported: bool,
+    },
+    /// `atomig run <file> [--ported]`
+    Run {
+        /// Input path.
+        file: String,
+        /// Port with full AtoMig before running.
+        ported: bool,
+    },
+    /// `atomig help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+atomig — port legacy x86 (TSO) programs to weak memory models
+
+USAGE:
+    atomig port  <file.c> [--stage original|expl|spin|full] [--report]
+                          [--naive | --lasagne]
+    atomig check <file.c> [--model sc|tso|wmm|arm] [--ported]
+    atomig run   <file.c> [--ported]
+
+`port` prints the transformed IR (or, with --report, the Table-3 style
+porting statistics). `check` exhaustively model-checks @main and reports
+the first assertion violation. `run` executes @main deterministically and
+prints the Armv8 cost-model summary.";
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a message suitable for printing on unknown flags or commands.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next() {
+        None => return Ok(Command::Help),
+        Some(c) => c.as_str(),
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "port" => {
+            let mut file = None;
+            let mut stage = Stage::Full;
+            let mut report_only = false;
+            let mut naive = false;
+            let mut lasagne = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--report" => report_only = true,
+                    "--naive" => naive = true,
+                    "--lasagne" => lasagne = true,
+                    "--stage" => {
+                        let v = it.next().ok_or("--stage needs a value")?;
+                        stage = parse_stage(v)?;
+                    }
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            if naive && lasagne {
+                return Err("--naive and --lasagne are mutually exclusive".into());
+            }
+            Ok(Command::Port {
+                file: file.ok_or("port: missing input file")?,
+                stage,
+                report_only,
+                naive,
+                lasagne,
+            })
+        }
+        "check" => {
+            let mut file = None;
+            let mut model = ModelKind::Arm;
+            let mut ported = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--ported" => ported = true,
+                    "--model" => {
+                        let v = it.next().ok_or("--model needs a value")?;
+                        model = parse_model(v)?;
+                    }
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            Ok(Command::Check {
+                file: file.ok_or("check: missing input file")?,
+                model,
+                ported,
+            })
+        }
+        "run" => {
+            let mut file = None;
+            let mut ported = false;
+            for a in it {
+                match a.as_str() {
+                    "--ported" => ported = true,
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            Ok(Command::Run {
+                file: file.ok_or("run: missing input file")?,
+                ported,
+            })
+        }
+        other => Err(format!("unknown command `{other}` (try `atomig help`)")),
+    }
+}
+
+fn parse_stage(s: &str) -> Result<Stage, String> {
+    Ok(match s {
+        "original" => Stage::Original,
+        "expl" | "explicit" => Stage::Explicit,
+        "spin" => Stage::Spin,
+        "full" | "atomig" => Stage::Full,
+        other => return Err(format!("unknown stage `{other}`")),
+    })
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    Ok(match s {
+        "sc" => ModelKind::Sc,
+        "tso" => ModelKind::Tso,
+        "wmm" => ModelKind::Wmm,
+        "arm" => ModelKind::Arm,
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+fn config_for(stage: Stage) -> AtomigConfig {
+    match stage {
+        Stage::Original => AtomigConfig::original(),
+        Stage::Explicit => AtomigConfig::explicit_only(),
+        Stage::Spin => AtomigConfig::spin(),
+        Stage::Full => AtomigConfig::full(),
+    }
+}
+
+/// Executes a command against already-loaded source text, returning the
+/// text to print (separated from I/O for testability).
+///
+/// # Errors
+///
+/// Returns compile errors, check violations and trap messages as strings.
+pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Port {
+            stage,
+            report_only,
+            naive,
+            lasagne,
+            ..
+        } => {
+            let mut module = atomig_frontc::compile(source, name)?;
+            let summary = if *naive {
+                let stats = atomig_core::naive_port(&mut module);
+                format!(
+                    "naive port: {} accesses upgraded, {} private skipped",
+                    stats.upgraded, stats.skipped_private
+                )
+            } else if *lasagne {
+                let stats = atomig_core::lasagne_port(&mut module);
+                format!(
+                    "lasagne port: {} fences inserted, {} removed",
+                    stats.fences_inserted, stats.fences_removed
+                )
+            } else {
+                let report = Pipeline::new(config_for(*stage)).port_module(&mut module);
+                format!("{report}")
+            };
+            atomig_mir::verify_module(&module).map_err(|e| e.to_string())?;
+            if *report_only {
+                Ok(summary)
+            } else {
+                Ok(atomig_mir::printer::print_module(&module))
+            }
+        }
+        Command::Check { model, ported, .. } => {
+            let mut module = atomig_frontc::compile(source, name)?;
+            if *ported {
+                Pipeline::new(AtomigConfig::full()).port_module(&mut module);
+            }
+            if module.func_by_name("main").is_none() {
+                return Err("check: the program has no `main`".into());
+            }
+            let verdict = Checker::new(*model).check(&module, "main");
+            // A found violation is a non-zero exit, so `atomig check`
+            // can gate CI.
+            if verdict.violation.is_some() {
+                Err(format!("{model}: {verdict}"))
+            } else {
+                Ok(format!("{model}: {verdict}"))
+            }
+        }
+        Command::Run { ported, .. } => {
+            let mut module = atomig_frontc::compile(source, name)?;
+            if *ported {
+                Pipeline::new(AtomigConfig::full()).port_module(&mut module);
+            }
+            if module.func_by_name("main").is_none() {
+                return Err("run: the program has no `main`".into());
+            }
+            let r = atomig_wmm::run_default(&module);
+            if let Some(f) = &r.failure {
+                return Err(format!("execution failed: {f}"));
+            }
+            let cm = CostModel::ARMV8;
+            let mut out = String::new();
+            for v in &r.output {
+                out.push_str(&format!("{v}\n"));
+            }
+            out.push_str(&format!(
+                "exit {} | {} visible steps | {} accesses ({} atomic, {} rmw, {} fences) | cost {}",
+                r.exit_value,
+                r.steps,
+                r.stats.total_accesses(),
+                r.stats.atomic_loads + r.stats.atomic_stores,
+                r.stats.rmws,
+                r.stats.fences + r.stats.light_fences,
+                cm.cost(&r.stats)
+            ));
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    const MP: &str = r#"
+        int flag; int msg;
+        void writer(long u) { msg = 1; flag = 1; }
+        int main() {
+            long t = spawn(writer, 0);
+            while (flag == 0) { }
+            assert(msg == 1);
+            join(t);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&args("port a.c --stage spin --report")).unwrap(),
+            Command::Port {
+                file: "a.c".into(),
+                stage: Stage::Spin,
+                report_only: true,
+                naive: false,
+                lasagne: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("check a.c --model tso --ported")).unwrap(),
+            Command::Check {
+                file: "a.c".into(),
+                model: ModelKind::Tso,
+                ported: true,
+            }
+        );
+        assert!(parse_args(&args("port")).is_err());
+        assert!(parse_args(&args("port a.c --bogus")).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("port a.c --naive --lasagne")).is_err());
+    }
+
+    #[test]
+    fn port_prints_transformed_ir() {
+        let cmd = parse_args(&args("port mp.c")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("seq_cst"), "{out}");
+    }
+
+    #[test]
+    fn port_report_prints_statistics() {
+        let cmd = parse_args(&args("port mp.c --report")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("spinloops        : 1"), "{out}");
+    }
+
+    #[test]
+    fn check_finds_and_fixes_the_bug() {
+        // A violation is an Err so the binary exits non-zero (CI gating).
+        let broken = parse_args(&args("check mp.c --model arm")).unwrap();
+        let out = execute(&broken, MP, "mp").unwrap_err();
+        assert!(out.contains("VIOLATION"), "{out}");
+        let fixed = parse_args(&args("check mp.c --model arm --ported")).unwrap();
+        let out = execute(&fixed, MP, "mp").unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn run_reports_cost_summary() {
+        let cmd = parse_args(&args("run mp.c --ported")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("cost "), "{out}");
+        assert!(out.contains("exit 0"), "{out}");
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let cmd = parse_args(&args("run bad.c")).unwrap();
+        let err = execute(&cmd, "int main() { return nope; }", "bad").unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn baselines_apply() {
+        let cmd = parse_args(&args("port mp.c --naive --report")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("naive port"), "{out}");
+        let cmd = parse_args(&args("port mp.c --lasagne --report")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("lasagne port"), "{out}");
+    }
+}

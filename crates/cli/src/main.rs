@@ -1,0 +1,46 @@
+//! The `atomig` binary. See [`atomig_cli`] for the command surface.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match atomig_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", atomig_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let file = match &cmd {
+        atomig_cli::Command::Help => {
+            println!("{}", atomig_cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        atomig_cli::Command::Port { file, .. }
+        | atomig_cli::Command::Check { file, .. }
+        | atomig_cli::Command::Run { file, .. } => file.clone(),
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{file}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let name = file
+        .rsplit('/')
+        .next()
+        .unwrap_or(&file)
+        .trim_end_matches(".c");
+    match atomig_cli::execute(&cmd, &source, name) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

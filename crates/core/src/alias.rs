@@ -1,0 +1,163 @@
+//! Alias exploration: module-wide sticky-buddy maps (§3.4).
+//!
+//! "For each detected atomic access, we statically look for other instances
+//! of accesses to these identified memory locations and mark them as their
+//! *sticky buddies*." The key is type-based — global identity, or the
+//! `getelementptr` struct type + constant offsets — so buddy lookup is a
+//! constant-time map access, which is what lets AtoMig scale where precise
+//! inter-procedural alias analysis exhausts memory (§3.5).
+
+use crate::annotations::loc_of;
+use atomig_mir::{FuncId, InstId, MemLoc, Module};
+use std::collections::HashMap;
+
+/// A module-wide map from alias key to every memory access with that key.
+///
+/// Built once during initialization (the paper: "we only have to populate
+/// this map once"); queries are `O(1)` map lookups.
+#[derive(Debug, Clone, Default)]
+pub struct AliasMap {
+    map: HashMap<MemLoc, Vec<(FuncId, InstId)>>,
+    /// Number of memory accesses scanned (diagnostics).
+    pub accesses_scanned: usize,
+}
+
+impl AliasMap {
+    /// Scans all memory accesses of `m` and builds the map.
+    ///
+    /// When `pointee_buddies` is false (the default, matching the paper),
+    /// only precise keys — globals and GEP type+offset signatures —
+    /// participate; coarse `Pointee` buckets are skipped.
+    pub fn build(m: &Module, pointee_buddies: bool) -> AliasMap {
+        let mut map: HashMap<MemLoc, Vec<(FuncId, InstId)>> = HashMap::new();
+        let mut accesses_scanned = 0;
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            let index = func.inst_index();
+            for (_, inst) in func.insts() {
+                if !inst.kind.is_memory_access() {
+                    continue;
+                }
+                accesses_scanned += 1;
+                let loc = loc_of(func, &index, &inst.kind);
+                let eligible =
+                    loc.is_buddy_key() || (pointee_buddies && matches!(loc, MemLoc::Pointee(_)));
+                if eligible {
+                    map.entry(loc).or_default().push((fid, inst.id));
+                }
+            }
+        }
+        AliasMap {
+            map,
+            accesses_scanned,
+        }
+    }
+
+    /// All accesses sharing the alias key `loc` (the sticky buddies).
+    pub fn buddies(&self, loc: &MemLoc) -> &[(FuncId, InstId)] {
+        self.map.get(loc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct alias keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over all `(key, accesses)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&MemLoc, &Vec<(FuncId, InstId)>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomig_mir::{parse_module, GlobalId, StructId};
+
+    const SRC: &str = r#"
+    struct %Node { i64, i64 }
+    global @flag: i32 = 0
+    fn @a(%n: ptr %Node) : void {
+    bb0:
+      %f = load i32, @flag
+      %sa = gep %Node, %n, 0, 0
+      %sv = load i64, %sa
+      ret
+    }
+    fn @b(%n: ptr %Node) : void {
+    bb0:
+      store i32 1, @flag
+      %sa = gep %Node, %n, 0, 0
+      store i64 2, %sa
+      %ka = gep %Node, %n, 0, 1
+      store i64 3, %ka
+      ret
+    }
+    "#;
+
+    #[test]
+    fn global_buddies_span_functions() {
+        let m = parse_module(SRC).unwrap();
+        let am = AliasMap::build(&m, false);
+        let buddies = am.buddies(&MemLoc::Global(GlobalId(0), vec![]));
+        assert_eq!(buddies.len(), 2);
+        let funcs: Vec<u32> = buddies.iter().map(|(f, _)| f.0).collect();
+        assert!(funcs.contains(&0) && funcs.contains(&1));
+    }
+
+    #[test]
+    fn field_buddies_keyed_by_type_and_offset() {
+        let m = parse_module(SRC).unwrap();
+        let am = AliasMap::build(&m, false);
+        let state = am.buddies(&MemLoc::Field(StructId(0), vec![0]));
+        assert_eq!(state.len(), 2); // load in @a, store in @b
+        let key = am.buddies(&MemLoc::Field(StructId(0), vec![1]));
+        assert_eq!(key.len(), 1); // only the store in @b
+    }
+
+    #[test]
+    fn scan_counts_all_accesses() {
+        let m = parse_module(SRC).unwrap();
+        let am = AliasMap::build(&m, false);
+        assert_eq!(am.accesses_scanned, 5);
+        assert_eq!(am.key_count(), 3);
+    }
+
+    #[test]
+    fn stack_accesses_excluded() {
+        let m = parse_module(
+            r#"
+            fn @f() : i32 {
+            bb0:
+              %x = alloca i32
+              store i32 1, %x
+              %v = load i32, %x
+              ret %v
+            }
+            "#,
+        )
+        .unwrap();
+        let am = AliasMap::build(&m, false);
+        assert_eq!(am.key_count(), 0);
+        assert_eq!(am.accesses_scanned, 2);
+    }
+
+    #[test]
+    fn pointee_buckets_opt_in() {
+        let m = parse_module(
+            r#"
+            fn @f(%p: ptr i32) : i32 {
+            bb0:
+              %v = load i32, %p
+              ret %v
+            }
+            "#,
+        )
+        .unwrap();
+        let off = AliasMap::build(&m, false);
+        assert_eq!(off.key_count(), 0);
+        let on = AliasMap::build(&m, true);
+        assert_eq!(on.key_count(), 1);
+        assert_eq!(on.buddies(&MemLoc::Pointee(atomig_mir::Type::I32)).len(), 1);
+    }
+}

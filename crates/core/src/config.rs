@@ -1,0 +1,119 @@
+//! Pipeline configuration: which detection stages run.
+//!
+//! The stages correspond to the columns of Table 2: *Original* (no
+//! transformation), *Expl.* (explicit annotations only), *Spin* (plus
+//! spinloop detection) and *AtoMig* (plus optimistic-loop detection).
+
+use atomig_analysis::InlineOptions;
+
+/// The cumulative detection stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// No transformation at all (baseline for model checking).
+    Original,
+    /// Explicit annotations only (§3.2).
+    Explicit,
+    /// Explicit annotations + spinloop detection (§3.3, first half).
+    Spin,
+    /// Everything, including optimistic-loop detection (full AtoMig).
+    Full,
+}
+
+/// Configuration of the AtoMig pipeline.
+#[derive(Debug, Clone)]
+pub struct AtomigConfig {
+    /// Detection stage to run.
+    pub stage: Stage,
+    /// Run module-wide sticky-buddy expansion (§3.4). On for every stage
+    /// except `Original`; exposed separately for ablation benchmarks.
+    pub alias_exploration: bool,
+    /// Inline small functions first so cross-function loops are analyzable
+    /// (§3.5).
+    pub inline: bool,
+    /// Inliner thresholds.
+    pub inline_options: InlineOptions,
+    /// Also expand buddies keyed only by pointee type (coarse; off by
+    /// default, matching the paper's GEP-keyed scheme).
+    pub pointee_buddies: bool,
+    /// §6 extension: treat compiler barriers (`asm("" ::: "memory")`) as
+    /// additional synchronization entry points, marking their adjacent
+    /// non-local accesses. Off by default (not part of the evaluated
+    /// system).
+    pub compiler_barrier_hints: bool,
+    /// Volatile locations to *exclude* from the §3.2 volatile conversion
+    /// (device registers, signal-handler state). "Throughout all
+    /// experiments that we performed, blacklisting of volatile variables
+    /// was never necessary" — empty by default.
+    pub volatile_blacklist: Vec<atomig_mir::MemLoc>,
+}
+
+impl AtomigConfig {
+    /// The identity configuration (Table 2 "Original").
+    pub fn original() -> AtomigConfig {
+        AtomigConfig {
+            stage: Stage::Original,
+            alias_exploration: false,
+            inline: false,
+            inline_options: InlineOptions::default(),
+            pointee_buddies: false,
+            compiler_barrier_hints: false,
+            volatile_blacklist: Vec::new(),
+        }
+    }
+
+    /// Explicit annotations only (Table 2 "Expl.").
+    pub fn explicit_only() -> AtomigConfig {
+        AtomigConfig {
+            stage: Stage::Explicit,
+            ..AtomigConfig::full()
+        }
+    }
+
+    /// Explicit annotations + spinloops (Table 2 "Spin").
+    pub fn spin() -> AtomigConfig {
+        AtomigConfig {
+            stage: Stage::Spin,
+            ..AtomigConfig::full()
+        }
+    }
+
+    /// The full AtoMig pipeline (Table 2 "AtoMig").
+    pub fn full() -> AtomigConfig {
+        AtomigConfig {
+            stage: Stage::Full,
+            alias_exploration: true,
+            inline: true,
+            inline_options: InlineOptions::default(),
+            pointee_buddies: false,
+            compiler_barrier_hints: false,
+            volatile_blacklist: Vec::new(),
+        }
+    }
+}
+
+impl Default for AtomigConfig {
+    fn default() -> Self {
+        AtomigConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_are_ordered() {
+        assert!(Stage::Original < Stage::Explicit);
+        assert!(Stage::Explicit < Stage::Spin);
+        assert!(Stage::Spin < Stage::Full);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(AtomigConfig::original().stage, Stage::Original);
+        assert!(!AtomigConfig::original().alias_exploration);
+        assert_eq!(AtomigConfig::explicit_only().stage, Stage::Explicit);
+        assert!(AtomigConfig::spin().alias_exploration);
+        assert_eq!(AtomigConfig::default().stage, Stage::Full);
+    }
+}

@@ -1,0 +1,563 @@
+//! The Figure 2 workflow: annotations → pattern detection → alias
+//! exploration → transformation, producing a [`PortReport`].
+
+use crate::alias::AliasMap;
+use crate::annotations::{loc_of, scan_annotations};
+use crate::config::{AtomigConfig, Stage};
+use crate::optimistic::detect_optimistic;
+use crate::report::{BarrierCensus, PortReport};
+use crate::spinloop::detect_spinloops;
+use crate::transform::{self, MarkSet};
+use atomig_analysis::{inline_module, InfluenceAnalysis};
+use atomig_mir::{InstKind, MemLoc, Module};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The AtoMig porting pipeline.
+///
+/// # Examples
+///
+/// See the crate-level example; staged configurations reproduce the
+/// Table 2 columns:
+///
+/// ```
+/// use atomig_core::{Pipeline, AtomigConfig};
+/// use atomig_mir::parse_module;
+///
+/// let src = r#"
+/// global @flag: i32 = 0
+/// fn @wait() : void {
+/// loop:
+///   %f = load i32, @flag
+///   %c = cmp eq %f, 0
+///   condbr %c, loop, done
+/// done:
+///   ret
+/// }
+/// "#;
+/// let mut original = parse_module(src).unwrap();
+/// let r0 = Pipeline::new(AtomigConfig::original()).port_module(&mut original);
+/// assert_eq!(r0.implicit_barriers_added, 0);
+///
+/// let mut ported = parse_module(src).unwrap();
+/// let r1 = Pipeline::new(AtomigConfig::full()).port_module(&mut ported);
+/// assert_eq!(r1.spinloops, 1);
+/// assert_eq!(r1.implicit_barriers_added, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: AtomigConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: AtomigConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AtomigConfig {
+        &self.config
+    }
+
+    /// Ports `m` in place and reports what happened.
+    pub fn port_module(&self, m: &mut Module) -> PortReport {
+        let t0 = Instant::now();
+        let mut report = PortReport {
+            module: m.name.clone(),
+            before: BarrierCensus::of(m),
+            ..PortReport::default()
+        };
+        if self.config.stage == Stage::Original {
+            report.after = report.before;
+            report.porting_time = t0.elapsed();
+            return report;
+        }
+
+        if self.config.inline {
+            report.inlined_calls = inline_module(m, &self.config.inline_options);
+        }
+
+        let mut marks = MarkSet::default();
+        let mut seed_locs: HashSet<MemLoc> = HashSet::new();
+        let mut optimistic_locs: HashSet<MemLoc> = HashSet::new();
+        // Whether a location key may seed sticky-buddy expansion. The
+        // paper's scheme uses precise keys only; the coarse pointee-typed
+        // buckets are the §3.4 alternative it rejects, kept here as an
+        // ablation knob.
+        let pointee = self.config.pointee_buddies;
+        let seedable =
+            |l: &MemLoc| l.is_buddy_key() || (pointee && matches!(l, MemLoc::Pointee(_)));
+
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+
+            // Pass 1: explicit annotations (§3.2).
+            let ann = scan_annotations(func, &self.config.volatile_blacklist);
+            report.explicit_annotations += ann.atomics.len() + ann.volatiles.len();
+            for mk in ann.atomics.iter().chain(ann.volatiles.iter()) {
+                marks.mark_sc(fid, mk.inst);
+                if seedable(&mk.loc) {
+                    seed_locs.insert(mk.loc.clone());
+                }
+            }
+
+            // §6 extension (opt-in): compiler barriers as entry points.
+            if self.config.compiler_barrier_hints {
+                for mk in crate::hints::barrier_adjacent_accesses(func) {
+                    report.barrier_hints += 1;
+                    marks.mark_sc(fid, mk.inst);
+                    if seedable(&mk.loc) {
+                        seed_locs.insert(mk.loc.clone());
+                    }
+                }
+            }
+
+            if self.config.stage < Stage::Spin {
+                continue;
+            }
+
+            // Pass 2: implicit synchronization patterns (§3.3).
+            let inf = InfluenceAnalysis::new(func);
+            let spins = detect_spinloops(func, &inf);
+            report.spinloops += spins.len();
+            for s in &spins {
+                for &c in &s.controls {
+                    marks.mark_sc(fid, c);
+                }
+                for l in &s.control_locs {
+                    if seedable(l) {
+                        seed_locs.insert(l.clone());
+                    }
+                }
+            }
+
+            if self.config.stage < Stage::Full {
+                continue;
+            }
+
+            let opts = detect_optimistic(func, &inf, &spins);
+            report.optiloops += opts.len();
+            let index = func.inst_index();
+            for o in &opts {
+                for &c in &o.optimistic_controls {
+                    // Explicit barrier before each optimistic-control load
+                    // within the optimistic loop (Figure 6, reader side).
+                    if matches!(index.get(&c), Some(InstKind::Load { .. })) {
+                        marks.mark_fence_before(fid, c);
+                    }
+                }
+                for l in &o.control_locs {
+                    optimistic_locs.insert(l.clone());
+                    if seedable(l) {
+                        seed_locs.insert(l.clone());
+                    }
+                }
+            }
+        }
+
+        // Pass 3: alias exploration — once atomic, always atomic (§3.4).
+        if self.config.alias_exploration {
+            let am = AliasMap::build(m, self.config.pointee_buddies);
+            report.seed_locations = seed_locs.len();
+            for loc in &seed_locs {
+                for &(f, i) in am.buddies(loc) {
+                    let newly = marks
+                        .sc_marks
+                        .entry(f)
+                        .or_default()
+                        .insert(i);
+                    if newly {
+                        report.buddy_marks += 1;
+                    }
+                }
+            }
+        }
+
+        // Explicit barriers after every store to an optimistic location,
+        // module-wide (Figure 6, writer side; includes sticky buddies).
+        if !optimistic_locs.is_empty() {
+            for fid in m.func_ids() {
+                let func = m.func(fid);
+                let index = func.inst_index();
+                for (_, inst) in func.insts() {
+                    if !inst.kind.may_write() || !inst.kind.is_memory_access() {
+                        continue;
+                    }
+                    let loc = loc_of(func, &index, &inst.kind);
+                    if optimistic_locs.contains(&loc) {
+                        marks.mark_fence_after(fid, inst.id);
+                        marks.mark_sc(fid, inst.id);
+                    }
+                }
+            }
+        }
+        marks.optimistic_locs = optimistic_locs;
+
+        // Pass 4: transformation.
+        let stats = transform::apply(m, &marks);
+        report.implicit_barriers_added = stats.sc_upgraded;
+        report.explicit_barriers_added = stats.fences_inserted;
+        report.after = BarrierCensus::of(m);
+        report.porting_time = t0.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomig_mir::{parse_module, verify_module, Ordering};
+
+    /// Figure 4: the full pipeline makes the TAS unlock store SC through
+    /// alias exploration ("once atomic, always atomic").
+    #[test]
+    fn tas_lock_unlock_store_marked_via_buddies() {
+        let mut m = parse_module(
+            r#"
+            global @locked: i32 = 0
+            fn @lock() : void {
+            spin:
+              %old = cmpxchg i32 @locked, 0, 1 seq_cst
+              %c = cmp ne %old, 0
+              condbr %c, spin, done
+            done:
+              ret
+            }
+            fn @unlock() : void {
+            bb0:
+              store i32 0, @locked
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let report = Pipeline::new(AtomigConfig::full()).port_module(&mut m);
+        assert_eq!(report.spinloops, 1);
+        verify_module(&m).unwrap();
+        let unlock = m.func(m.func_by_name("unlock").unwrap());
+        let store_ord = unlock.blocks[0].insts[0].kind.ordering();
+        assert_eq!(store_ord, Some(Ordering::SeqCst));
+    }
+
+    /// Figure 5: both the reader's loads of flag and the writer's store
+    /// become SC; msg stays plain (protected transitively by the flag).
+    #[test]
+    fn message_passing_transformation() {
+        let mut m = parse_module(
+            r#"
+            global @flag: i32 = 0
+            global @msg: i32 = 0
+            fn @reader() : i32 {
+            loop:
+              %f = load i32, @flag
+              %c = cmp ne %f, 1
+              condbr %c, loop, done
+            done:
+              %v = load i32, @msg
+              ret %v
+            }
+            fn @writer() : void {
+            bb0:
+              store i32 7, @msg
+              store i32 1, @flag
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let report = Pipeline::new(AtomigConfig::full()).port_module(&mut m);
+        assert_eq!(report.spinloops, 1);
+        assert_eq!(report.optiloops, 0);
+        assert_eq!(report.implicit_barriers_added, 2); // flag load + store
+        assert_eq!(report.explicit_barriers_added, 0);
+        let writer = m.func(m.func_by_name("writer").unwrap());
+        assert_eq!(
+            writer.blocks[0].insts[0].kind.ordering(),
+            Some(Ordering::NotAtomic)
+        ); // msg store untouched
+        assert_eq!(
+            writer.blocks[0].insts[1].kind.ordering(),
+            Some(Ordering::SeqCst)
+        );
+    }
+
+    /// Figure 6: the seqlock gets SC controls plus explicit fences before
+    /// in-loop control loads and after control stores.
+    #[test]
+    fn seqlock_gets_explicit_fences() {
+        let mut m = parse_module(
+            r#"
+            global @flag: i32 = 0
+            global @msg: i32 = 0
+            fn @reader() : i32 {
+            entry:
+              %i = alloca i32
+              %data = alloca i32
+              br loop
+            loop:
+              %f1 = load i32, @flag
+              store i32 %f1, %i
+              %m = load i32, @msg
+              store i32 %m, %data
+              %iv = load i32, %i
+              %odd = rem %iv, 2
+              %c1 = cmp ne %odd, 0
+              condbr %c1, loop, check2
+            check2:
+              %iv2 = load i32, %i
+              %f2 = load i32, @flag
+              %c2 = cmp ne %iv2, %f2
+              condbr %c2, loop, done
+            done:
+              %d = load i32, %data
+              ret %d
+            }
+            fn @writer() : void {
+            bb0:
+              %f1 = load i32, @flag
+              %inc1 = add %f1, 1
+              store i32 %inc1, @flag
+              store i32 42, @msg
+              %f2 = load i32, @flag
+              %inc2 = add %f2, 1
+              store i32 %inc2, @flag
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let report = Pipeline::new(AtomigConfig::full()).port_module(&mut m);
+        assert_eq!(report.spinloops, 1);
+        assert_eq!(report.optiloops, 1);
+        // Fences: before the two in-loop control loads of @flag, and after
+        // each of the writer's two stores to @flag.
+        assert!(report.explicit_barriers_added >= 4);
+        verify_module(&m).unwrap();
+        // The writer's flag stores are SC and followed by fences.
+        let writer = m.func(m.func_by_name("writer").unwrap());
+        let insts = &writer.blocks[0].insts;
+        let mut saw_store_fence = 0;
+        for w in insts.windows(2) {
+            if matches!(&w[0].kind, InstKind::Store { ord: Ordering::SeqCst, .. })
+                && matches!(&w[1].kind, InstKind::Fence { .. })
+            {
+                saw_store_fence += 1;
+            }
+        }
+        assert_eq!(saw_store_fence, 2);
+    }
+
+    #[test]
+    fn staged_configs_are_monotone() {
+        let src = r#"
+            global @flag: i32 = 0
+            global @msg: i32 = 0
+            fn @reader() : i32 {
+            entry:
+              %data = alloca i32
+              br loop
+            loop:
+              %f1 = load i32, @flag volatile
+              %m = load i32, @msg
+              store i32 %m, %data
+              %f2 = load i32, @flag volatile
+              %c = cmp ne %f1, %f2
+              condbr %c, loop, done
+            done:
+              %d = load i32, %data
+              ret %d
+            }
+            "#;
+        let run = |cfg: AtomigConfig| {
+            let mut m = parse_module(src).unwrap();
+            let r = Pipeline::new(cfg).port_module(&mut m);
+            (r.implicit_barriers_added, r.explicit_barriers_added)
+        };
+        let (orig_i, orig_e) = run(AtomigConfig::original());
+        let (expl_i, expl_e) = run(AtomigConfig::explicit_only());
+        let (spin_i, spin_e) = run(AtomigConfig::spin());
+        let (full_i, full_e) = run(AtomigConfig::full());
+        assert_eq!((orig_i, orig_e), (0, 0));
+        assert!(expl_i >= 2); // the two volatile loads
+        assert_eq!(expl_e, 0);
+        assert!(spin_i >= expl_i);
+        assert_eq!(spin_e, 0);
+        assert!(full_i >= spin_i);
+        assert!(full_e > 0); // optimistic fences only in the full stage
+    }
+
+    #[test]
+    fn porting_is_idempotent() {
+        let mut m = parse_module(
+            r#"
+            global @flag: i32 = 0
+            fn @wait() : void {
+            loop:
+              %f = load i32, @flag
+              %c = cmp eq %f, 0
+              condbr %c, loop, done
+            done:
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let p = Pipeline::new(AtomigConfig::full());
+        let r1 = p.port_module(&mut m);
+        assert_eq!(r1.implicit_barriers_added, 1);
+        let snapshot = m.clone();
+        let r2 = p.port_module(&mut m);
+        assert_eq!(r2.implicit_barriers_added, 0);
+        assert_eq!(m, snapshot);
+    }
+
+    #[test]
+    fn report_censuses_are_consistent() {
+        let mut m = parse_module(
+            r#"
+            global @flag: i32 = 0
+            fn @wait() : void {
+            loop:
+              %f = load i32, @flag
+              %c = cmp eq %f, 0
+              condbr %c, loop, done
+            done:
+              ret
+            }
+            fn @set() : void {
+            bb0:
+              store i32 1, @flag
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let r = Pipeline::new(AtomigConfig::full()).port_module(&mut m);
+        assert_eq!(r.before.implicit, 0);
+        assert_eq!(
+            r.after.implicit,
+            r.before.implicit + r.implicit_barriers_added
+        );
+        assert_eq!(
+            r.after.explicit,
+            r.before.explicit + r.explicit_barriers_added
+        );
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use atomig_mir::MemLoc;
+
+    const POINTER_SPIN: &str = r#"
+        global @flag_storage: i32 = 0
+        global @unrelated: i32 = 0
+        fn @wait(%w: ptr i32) : void {
+        loop:
+          %v = load i32, %w
+          %c = cmp eq %v, 0
+          condbr %c, loop, done
+        done:
+          ret
+        }
+        fn @touch(%p: ptr i32) : i32 {
+        bb0:
+          %v = load i32, %p
+          ret %v
+        }
+        "#;
+
+    /// The coarse pointee-typed buckets (§3.4's rejected alternative,
+    /// kept as a knob): a spin through a raw `int*` sweeps in every other
+    /// `int*` dereference in the module.
+    #[test]
+    fn pointee_buddies_expand_raw_pointer_controls() {
+        let m0 = atomig_mir::parse_module(POINTER_SPIN).unwrap();
+
+        let mut precise = m0.clone();
+        let mut cfg = AtomigConfig::full();
+        cfg.inline = false;
+        let r1 = Pipeline::new(cfg.clone()).port_module(&mut precise);
+
+        let mut coarse = m0.clone();
+        cfg.pointee_buddies = true;
+        let r2 = Pipeline::new(cfg).port_module(&mut coarse);
+
+        assert_eq!(r1.spinloops, 1);
+        assert_eq!(r2.spinloops, 1);
+        assert!(
+            r2.implicit_barriers_added > r1.implicit_barriers_added,
+            "coarse {r2} vs precise {r1}"
+        );
+        // The unrelated @touch load became atomic only in the coarse run.
+        let touch_sc = |m: &Module| {
+            m.func(m.func_by_name("touch").unwrap())
+                .insts()
+                .any(|(_, i)| i.kind.ordering() == Some(atomig_mir::Ordering::SeqCst))
+        };
+        assert!(!touch_sc(&precise));
+        assert!(touch_sc(&coarse));
+    }
+
+    /// §6 compiler-barrier hints: a fenced straight-line publication with
+    /// no loop gets its adjacent accesses marked (and their buddies).
+    #[test]
+    fn compiler_barrier_hints_mark_straightline_publication() {
+        let src = r#"
+            int ready; long payload;
+            void publish(long v) {
+                payload = v;
+                asm("" ::: "memory");
+                ready = 1;
+            }
+            int consume() { return ready; }
+        "#;
+        let m0 = atomig_frontc::compile(src, "cb").unwrap();
+
+        let mut plain = m0.clone();
+        let mut cfg = AtomigConfig::full();
+        cfg.inline = false;
+        let r1 = Pipeline::new(cfg.clone()).port_module(&mut plain);
+        assert_eq!(r1.barrier_hints, 0);
+        assert_eq!(r1.implicit_barriers_added, 0);
+
+        let mut hinted = m0.clone();
+        cfg.compiler_barrier_hints = true;
+        let r2 = Pipeline::new(cfg).port_module(&mut hinted);
+        assert_eq!(r2.barrier_hints, 2);
+        // payload store, ready store, plus the buddy load in @consume.
+        assert!(r2.implicit_barriers_added >= 3, "{r2}");
+    }
+
+    /// The volatile blacklist excludes device-style locations from the
+    /// §3.2 conversion.
+    #[test]
+    fn volatile_blacklist_is_honored() {
+        let src = r#"
+            volatile int mmio_reg;
+            volatile int shared_flag;
+            void poke() { mmio_reg = 1; shared_flag = 1; }
+        "#;
+        let m0 = atomig_frontc::compile(src, "bl").unwrap();
+        let mmio = m0.global_by_name("mmio_reg").unwrap();
+
+        let mut cfg = AtomigConfig::full();
+        cfg.inline = false;
+        cfg.volatile_blacklist = vec![MemLoc::Global(mmio, vec![])];
+        let mut m = m0.clone();
+        let report = Pipeline::new(cfg).port_module(&mut m);
+        assert_eq!(report.explicit_annotations, 1); // only shared_flag
+        let f = m.func(m.func_by_name("poke").unwrap());
+        let mut orderings = vec![];
+        for (_, i) in f.insts() {
+            if let Some(addr) = i.kind.address() {
+                orderings.push((addr, i.kind.ordering().unwrap()));
+            }
+        }
+        use atomig_mir::{Ordering, Value};
+        assert!(orderings
+            .contains(&(Value::Global(mmio), Ordering::NotAtomic)));
+    }
+}

@@ -1,0 +1,82 @@
+//! The x86 inline-assembly normalization pass (§3.2).
+//!
+//! "Developers often implement synchronization barriers with
+//! architecture-specific assembly instructions … we develop a compiler
+//! frontend pass that analyzes all uses of x86 inline assembly
+//! implementing synchronization patterns in the source code and replaces
+//! them with their compiler builtin counterparts."
+//!
+//! The recognized idioms cover what the paper's benchmarks actually
+//! contain: full fences (`mfence` and the classic `lock; addl $0,(%esp)`
+//! form), one-sided x86 fences (`sfence`/`lfence`, no-ops beyond ordering
+//! on TSO but mapped to full fences for safety), `pause`/`rep; nop` spin
+//! hints, and bare `"" ::: "memory"` compiler barriers.
+
+/// The portable meaning of an x86 inline-assembly string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmIdiom {
+    /// A full memory fence (`mfence`, `lock; addl $0,(%%esp)`, ...).
+    FullFence,
+    /// A spin-wait hint (`pause`, `rep; nop`).
+    Pause,
+    /// A compiler-only barrier (empty template with a `memory` clobber):
+    /// no hardware effect, nothing to emit.
+    CompilerBarrier,
+    /// Anything else — the frontend refuses it rather than miscompile.
+    Unsupported(String),
+}
+
+/// Classifies an inline-assembly template string.
+pub fn classify(text: &str) -> AsmIdiom {
+    let t = text
+        .to_ascii_lowercase()
+        .replace(['\t', '\n'], " ")
+        .trim()
+        .to_string();
+    let squeezed: String = t.split_whitespace().collect::<Vec<_>>().join(" ");
+    match squeezed.as_str() {
+        "" => AsmIdiom::CompilerBarrier,
+        "mfence" | "sfence" | "lfence" => AsmIdiom::FullFence,
+        "pause" | "rep; nop" | "rep ; nop" | "rep nop" => AsmIdiom::Pause,
+        s if s.starts_with("lock; addl $0") || s.starts_with("lock ; addl $0") || s.starts_with("lock addl $0") => {
+            AsmIdiom::FullFence
+        }
+        s => AsmIdiom::Unsupported(s.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizes_fences() {
+        assert_eq!(classify("mfence"), AsmIdiom::FullFence);
+        assert_eq!(classify("MFENCE"), AsmIdiom::FullFence);
+        assert_eq!(classify("lock; addl $0,0(%%esp)"), AsmIdiom::FullFence);
+        assert_eq!(classify("lock; addl $0,(%%rsp)"), AsmIdiom::FullFence);
+        assert_eq!(classify("sfence"), AsmIdiom::FullFence);
+        assert_eq!(classify("lfence"), AsmIdiom::FullFence);
+    }
+
+    #[test]
+    fn recognizes_pause() {
+        assert_eq!(classify("pause"), AsmIdiom::Pause);
+        assert_eq!(classify("rep; nop"), AsmIdiom::Pause);
+        assert_eq!(classify("rep  ;  nop"), AsmIdiom::Pause);
+    }
+
+    #[test]
+    fn empty_is_compiler_barrier() {
+        assert_eq!(classify(""), AsmIdiom::CompilerBarrier);
+        assert_eq!(classify("   "), AsmIdiom::CompilerBarrier);
+    }
+
+    #[test]
+    fn unknown_is_refused() {
+        assert!(matches!(
+            classify("movl %eax, %ebx"),
+            AsmIdiom::Unsupported(_)
+        ));
+    }
+}

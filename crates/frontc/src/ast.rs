@@ -1,0 +1,282 @@
+//! The MiniC abstract syntax tree.
+
+/// A C-level type expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `void`.
+    Void,
+    /// `char` (8-bit).
+    Char,
+    /// `short` (16-bit).
+    Short,
+    /// `int` (32-bit).
+    Int,
+    /// `long` (64-bit).
+    Long,
+    /// `struct Name`.
+    Struct(String),
+    /// `T*`.
+    Ptr(Box<CType>),
+    /// `T name[N]` — only at declaration sites.
+    Array(Box<CType>, u32),
+}
+
+impl CType {
+    /// `T*`.
+    pub fn ptr(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+}
+
+/// Qualifiers on a declaration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Quals {
+    /// `volatile`.
+    pub volatile: bool,
+    /// `_Atomic` / `atomic`.
+    pub atomic: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+    /// `*`
+    Deref,
+    /// `&`
+    AddrOf,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Ident(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Assignment `lhs = rhs` (also compound `op=`, with `op` set).
+    Assign {
+        /// Target lvalue.
+        lhs: Box<Expr>,
+        /// Source value.
+        rhs: Box<Expr>,
+        /// `Some(op)` for compound assignments.
+        op: Option<BinaryOp>,
+    },
+    /// Pre/post increment/decrement.
+    IncDec {
+        /// Target lvalue.
+        target: Box<Expr>,
+        /// +1 or -1.
+        delta: i64,
+        /// Prefix (`++x`) or postfix (`x++`).
+        prefix: bool,
+    },
+    /// Function or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Array subscript `base[index]`.
+    Index {
+        /// Array or pointer expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Member access `base.field` or `base->field`.
+    Member {
+        /// Struct expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// `->` (true) vs `.` (false).
+        arrow: bool,
+    },
+    /// Ternary `cond ? t : e`.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then_e: Box<Expr>,
+        /// Else value.
+        else_e: Box<Expr>,
+    },
+    /// Inline assembly `asm("...")`.
+    Asm(String),
+    /// `sizeof(T)` — in MiniC, the number of *slots* the type occupies
+    /// (the flat memory model's unit), suitable for `malloc`.
+    SizeOf(CType),
+    /// A cast `(T)expr`.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Qualifiers.
+        quals: Quals,
+        /// Name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else else_`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_s: Box<Stmt>,
+        /// Else branch.
+        else_s: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initializer (decl or expr).
+        init: Option<Box<Stmt>>,
+        /// Condition (empty = true).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `return e;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A struct definition.
+    Struct {
+        /// Name.
+        name: String,
+        /// Fields (type, name).
+        fields: Vec<(CType, String)>,
+    },
+    /// A global variable.
+    Global {
+        /// Type.
+        ty: CType,
+        /// Qualifiers.
+        quals: Quals,
+        /// Name.
+        name: String,
+        /// Flat initializer values.
+        init: Vec<i64>,
+    },
+    /// A function definition.
+    Function {
+        /// Return type.
+        ret: CType,
+        /// Name.
+        name: String,
+        /// Parameters (type, name).
+        params: Vec<(CType, String)>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,258 @@
+//! The MiniC lexer.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for LexError {}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (inline asm text).
+    Str(String),
+    /// A punctuation / operator token, e.g. `"+="`, `"->"`.
+    Punct(&'static str),
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first.
+    "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-",
+    "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
+];
+
+/// Tokenizes MiniC source. `//` and `/* */` comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return Err(LexError {
+                    msg: "unterminated string".into(),
+                    line,
+                });
+            }
+            toks.push(Token {
+                kind: TokenKind::Str(src[start..j].to_string()),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            // Hex literals.
+            if c == '0' && j + 1 < bytes.len() && (bytes[j + 1] == b'x' || bytes[j + 1] == b'X') {
+                j += 2;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_hexdigit() {
+                    j += 1;
+                }
+                let v = i64::from_str_radix(&src[start + 2..j], 16).map_err(|_| LexError {
+                    msg: format!("bad hex literal `{}`", &src[start..j]),
+                    line,
+                })?;
+                toks.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+            // Skip C suffixes (L, U, UL...).
+            let lit_end = j;
+            while j < bytes.len() && matches!(bytes[j], b'l' | b'L' | b'u' | b'U') {
+                j += 1;
+            }
+            let v: i64 = src[start..lit_end].parse().map_err(|_| LexError {
+                msg: format!("bad integer `{}`", &src[start..lit_end]),
+                line,
+            })?;
+            toks.push(Token {
+                kind: TokenKind::Int(v),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokenKind::Ident(src[start..j].to_string()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        let mut matched = false;
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                toks.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                msg: format!("unexpected character `{c}`"),
+                line,
+            });
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_punctuation_is_greedy() {
+        assert_eq!(
+            kinds("a->b ++ <= <<="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("->"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("++"),
+                TokenKind::Punct("<="),
+                TokenKind::Punct("<<="),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\nstill */ b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn strings_and_hex() {
+        assert_eq!(
+            kinds(r#"asm("mfence") 0x10"#),
+            vec![
+                TokenKind::Ident("asm".into()),
+                TokenKind::Punct("("),
+                TokenKind::Str("mfence".into()),
+                TokenKind::Punct(")"),
+                TokenKind::Int(16),
+            ]
+        );
+    }
+
+    #[test]
+    fn int_suffixes_ignored() {
+        assert_eq!(kinds("10UL 3L"), vec![TokenKind::Int(10), TokenKind::Int(3)]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Functions and basic blocks.
+
+use crate::inst::{Inst, InstKind, Terminator};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A function-unique instruction id. Doubles as the result's SSA name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%t{}", self.0)
+    }
+}
+
+/// A basic-block id, indexing into [`Function::blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Human-readable label (parser/printer; not semantically meaningful).
+    pub name: String,
+    /// Instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block ending in `unreachable` (builder fills it in).
+    pub fn new(name: impl Into<String>) -> Block {
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name, unique within the module (without the `@` sigil).
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub ret: Type,
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Next unassigned instruction id.
+    pub next_inst: u32,
+}
+
+impl Function {
+    /// Creates a function with a single empty entry block.
+    pub fn new(name: impl Into<String>, params: Vec<(String, Type)>, ret: Type) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: vec![Block::new("entry")],
+            next_inst: 0,
+        }
+    }
+
+    /// The entry block id (always `bb0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a fresh instruction id.
+    pub fn fresh_inst_id(&mut self) -> InstId {
+        let id = InstId(self.next_inst);
+        self.next_inst += 1;
+        id
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable block lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// All block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Iterates over `(block, inst)` pairs in layout order.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> + '_ {
+        self.block_ids()
+            .flat_map(move |b| self.block(b).insts.iter().map(move |i| (b, i)))
+    }
+
+    /// Builds a map from instruction id to its defining kind. O(n); callers
+    /// that query repeatedly should keep the map (the paper's influence
+    /// analysis caches exactly this, §3.5).
+    pub fn inst_index(&self) -> HashMap<InstId, &InstKind> {
+        let mut m = HashMap::with_capacity(self.next_inst as usize);
+        for (_, inst) in self.insts() {
+            m.insert(inst.id, &inst.kind);
+        }
+        m
+    }
+
+    /// Finds the block containing instruction `id`, with its position.
+    pub fn position_of(&self, id: InstId) -> Option<(BlockId, usize)> {
+        for b in self.block_ids() {
+            if let Some(pos) = self.block(b).insts.iter().position(|i| i.id == id) {
+                return Some((b, pos));
+            }
+        }
+        None
+    }
+
+    /// Total number of instructions across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{InstKind, Ordering};
+    use crate::value::Value;
+
+    fn sample() -> Function {
+        let mut f = Function::new("f", vec![("x".into(), Type::ptr_to(Type::I32))], Type::Void);
+        let id0 = f.fresh_inst_id();
+        let id1 = f.fresh_inst_id();
+        f.block_mut(BlockId(0)).insts.push(Inst {
+            id: id0,
+            kind: InstKind::Load {
+                ptr: Value::Param(0),
+                ty: Type::I32,
+                ord: Ordering::NotAtomic,
+                volatile: false,
+            },
+        });
+        f.block_mut(BlockId(0)).insts.push(Inst {
+            id: id1,
+            kind: InstKind::Store {
+                ptr: Value::Param(0),
+                val: Value::Inst(id0),
+                ty: Type::I32,
+                ord: Ordering::NotAtomic,
+                volatile: false,
+            },
+        });
+        f.block_mut(BlockId(0)).term = Terminator::Ret(None);
+        f
+    }
+
+    #[test]
+    fn fresh_ids_are_sequential() {
+        let mut f = Function::new("g", vec![], Type::Void);
+        assert_eq!(f.fresh_inst_id(), InstId(0));
+        assert_eq!(f.fresh_inst_id(), InstId(1));
+        assert_eq!(f.next_inst, 2);
+    }
+
+    #[test]
+    fn inst_iteration_and_index() {
+        let f = sample();
+        assert_eq!(f.inst_count(), 2);
+        let idx = f.inst_index();
+        assert!(idx[&InstId(0)].may_read());
+        assert!(idx[&InstId(1)].may_write());
+    }
+
+    #[test]
+    fn position_lookup() {
+        let f = sample();
+        assert_eq!(f.position_of(InstId(1)), Some((BlockId(0), 1)));
+        assert_eq!(f.position_of(InstId(99)), None);
+    }
+
+    #[test]
+    fn entry_is_block_zero() {
+        let f = sample();
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.block(f.entry()).name, "entry");
+    }
+}

@@ -1,0 +1,300 @@
+//! Memory-location keys for the paper's type-based alias exploration (§3.4).
+//!
+//! AtoMig finds "sticky buddies" of an access without a precise points-to
+//! analysis: accesses to globals are keyed by the global; pointer-based
+//! accesses are keyed by the *type and constant offsets* of the
+//! `getelementptr` instruction computing the address. Two accesses with the
+//! same key are assumed to (possibly) alias; this over-approximates but is
+//! constant-time per query, which is what makes AtoMig scale (§3.5).
+
+use crate::func::{Function, InstId};
+use crate::inst::{GepIndex, InstKind};
+use crate::module::{GlobalId, StructId};
+use crate::types::Type;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A module-wide key approximating "which memory does this access touch".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemLoc {
+    /// A module global accessed directly (possibly through a constant-index
+    /// GEP into it; the field path is folded into the key).
+    Global(GlobalId, Vec<i64>),
+    /// A field of a named struct reached through a pointer: keyed by struct
+    /// type and the constant index path, exactly like the paper keys
+    /// `getelementptr` type+offsets.
+    Field(StructId, Vec<i64>),
+    /// An element of an array of `elem` type with a dynamic index.
+    ArrayElem(Type),
+    /// A non-escaping stack slot of the given function-local alloca.
+    Stack(InstId),
+    /// A plain dereference of a pointer that is not a GEP (e.g. an `i32*`
+    /// parameter). Keyed by pointee type; too coarse for buddy expansion by
+    /// default but still identifies the access for marking.
+    Pointee(Type),
+    /// Nothing statically known.
+    Unknown,
+}
+
+impl MemLoc {
+    /// Whether this key is precise enough to participate in sticky-buddy
+    /// expansion (§3.4). `Pointee`/`Unknown` buckets are excluded by
+    /// default because they would sweep in unrelated accesses of the same
+    /// scalar type; `Stack` slots are thread-local and never need barriers.
+    pub fn is_buddy_key(&self) -> bool {
+        matches!(
+            self,
+            MemLoc::Global(..) | MemLoc::Field(..) | MemLoc::ArrayElem(_)
+        )
+    }
+
+    /// Whether the location is provably local to one thread's stack.
+    pub fn is_stack(&self) -> bool {
+        matches!(self, MemLoc::Stack(_))
+    }
+}
+
+impl fmt::Display for MemLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemLoc::Global(g, path) if path.is_empty() => write!(f, "{g}"),
+            MemLoc::Global(g, path) => write!(f, "{g}+{path:?}"),
+            MemLoc::Field(s, path) => write!(f, "{s}@{path:?}"),
+            MemLoc::ArrayElem(t) => write!(f, "[{t}]"),
+            MemLoc::Stack(i) => write!(f, "stack({i})"),
+            MemLoc::Pointee(t) => write!(f, "*({t})"),
+            MemLoc::Unknown => write!(f, "?"),
+        }
+    }
+}
+
+/// Resolves the [`MemLoc`] of a pointer value inside `func`.
+///
+/// Walks back through GEPs and casts. `inst_index` must be
+/// [`Function::inst_index`] of the same function (callers cache it).
+pub fn resolve_loc(
+    func: &Function,
+    inst_index: &HashMap<InstId, &InstKind>,
+    ptr: Value,
+) -> MemLoc {
+    resolve_loc_depth(func, inst_index, ptr, 16)
+}
+
+fn resolve_loc_depth(
+    func: &Function,
+    inst_index: &HashMap<InstId, &InstKind>,
+    ptr: Value,
+    depth: u32,
+) -> MemLoc {
+    if depth == 0 {
+        return MemLoc::Unknown;
+    }
+    match ptr {
+        Value::Global(g) => MemLoc::Global(g, Vec::new()),
+        Value::Param(i) => match func.params.get(i as usize) {
+            Some((_, Type::Ptr(p))) => MemLoc::Pointee((**p).clone()),
+            _ => MemLoc::Unknown,
+        },
+        Value::Inst(id) => match inst_index.get(&id) {
+            Some(InstKind::Alloca { .. }) => MemLoc::Stack(id),
+            Some(InstKind::Gep {
+                base,
+                base_ty,
+                indices,
+            }) => resolve_gep(func, inst_index, *base, base_ty, indices, depth - 1),
+            Some(InstKind::Cast { value, .. }) => {
+                resolve_loc_depth(func, inst_index, *value, depth - 1)
+            }
+            // A pointer loaded from memory or returned by a call: all we
+            // know is its type.
+            Some(InstKind::Load { ty: Type::Ptr(p), .. })
+            | Some(InstKind::Call { ret_ty: Type::Ptr(p), .. }) => {
+                MemLoc::Pointee((**p).clone())
+            }
+            _ => MemLoc::Unknown,
+        },
+        _ => MemLoc::Unknown,
+    }
+}
+
+fn resolve_gep(
+    func: &Function,
+    inst_index: &HashMap<InstId, &InstKind>,
+    base: Value,
+    base_ty: &Type,
+    indices: &[GepIndex],
+    depth: u32,
+) -> MemLoc {
+    let const_path: Option<Vec<i64>> = indices.iter().map(GepIndex::as_const).collect();
+    let base_loc = resolve_loc_depth(func, inst_index, base, depth);
+    match (&base_loc, base_ty) {
+        // GEP into a global: fold the (constant) path into the global key.
+        (MemLoc::Global(g, prefix), _) => match const_path {
+            Some(path) => {
+                let mut full = prefix.clone();
+                full.extend(path);
+                MemLoc::Global(*g, full)
+            }
+            None => elem_key(base_ty, indices),
+        },
+        // GEP through an arbitrary pointer to a struct: type+offset key,
+        // the paper's signature scheme.
+        (_, Type::Struct(sid)) => match const_path {
+            // Leading index scales whole objects; drop it from the field key
+            // (node[i].field and node->field are the same field).
+            Some(path) if path.len() > 1 => MemLoc::Field(*sid, path[1..].to_vec()),
+            _ => MemLoc::Field(*sid, Vec::new()),
+        },
+        (_, Type::Array(elem, _)) => MemLoc::ArrayElem((**elem).clone()),
+        // GEP through a scalar pointer (pointer arithmetic on T*): treat as
+        // a dynamic element of a T array.
+        (_, other) => elem_key(other, indices),
+    }
+}
+
+fn elem_key(base_ty: &Type, _indices: &[GepIndex]) -> MemLoc {
+    match base_ty {
+        Type::Array(elem, _) => MemLoc::ArrayElem((**elem).clone()),
+        other => MemLoc::ArrayElem(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::GepIndex;
+
+    #[test]
+    fn global_direct() {
+        let b = FunctionBuilder::new("f", vec![], Type::Void);
+        let f = b.finish();
+        let idx = f.inst_index();
+        assert_eq!(
+            resolve_loc(&f, &idx, Value::Global(GlobalId(3))),
+            MemLoc::Global(GlobalId(3), vec![])
+        );
+    }
+
+    #[test]
+    fn alloca_is_stack() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let a = b.alloca(Type::I32, "x");
+        b.ret(None);
+        let f = b.finish();
+        let idx = f.inst_index();
+        let loc = resolve_loc(&f, &idx, a);
+        assert!(loc.is_stack());
+        assert!(!loc.is_buddy_key());
+    }
+
+    #[test]
+    fn struct_field_key_ignores_leading_index() {
+        let sid = StructId(0);
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![("n".into(), Type::ptr_to(Type::Struct(sid)))],
+            Type::Void,
+        );
+        // n->field1  and  n[5].field1 must produce the same key
+        let a1 = b.gep(
+            Type::Struct(sid),
+            Value::Param(0),
+            vec![GepIndex::Const(0), GepIndex::Const(1)],
+        );
+        let a2 = b.gep(
+            Type::Struct(sid),
+            Value::Param(0),
+            vec![GepIndex::Const(5), GepIndex::Const(1)],
+        );
+        b.ret(None);
+        let f = b.finish();
+        let idx = f.inst_index();
+        let l1 = resolve_loc(&f, &idx, a1);
+        let l2 = resolve_loc(&f, &idx, a2);
+        assert_eq!(l1, MemLoc::Field(sid, vec![1]));
+        assert_eq!(l1, l2);
+        assert!(l1.is_buddy_key());
+    }
+
+    #[test]
+    fn gep_into_global_folds_path() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let a = b.gep(
+            Type::array_of(Type::I32, 8),
+            Value::Global(GlobalId(0)),
+            vec![GepIndex::Const(0), GepIndex::Const(3)],
+        );
+        b.ret(None);
+        let f = b.finish();
+        let idx = f.inst_index();
+        assert_eq!(
+            resolve_loc(&f, &idx, a),
+            MemLoc::Global(GlobalId(0), vec![0, 3])
+        );
+    }
+
+    #[test]
+    fn dynamic_array_index_keys_by_elem_type() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![("i".into(), Type::I64)],
+            Type::Void,
+        );
+        let a = b.gep(
+            Type::array_of(Type::I64, 16),
+            Value::Global(GlobalId(1)),
+            vec![GepIndex::Const(0), GepIndex::Dyn(Value::Param(0))],
+        );
+        b.ret(None);
+        let f = b.finish();
+        let idx = f.inst_index();
+        assert_eq!(resolve_loc(&f, &idx, a), MemLoc::ArrayElem(Type::I64));
+    }
+
+    #[test]
+    fn param_pointer_is_pointee() {
+        let b = FunctionBuilder::new(
+            "f",
+            vec![("p".into(), Type::ptr_to(Type::I32))],
+            Type::Void,
+        );
+        let f = b.finish();
+        let idx = f.inst_index();
+        let loc = resolve_loc(&f, &idx, Value::Param(0));
+        assert_eq!(loc, MemLoc::Pointee(Type::I32));
+        assert!(!loc.is_buddy_key());
+    }
+
+    #[test]
+    fn loaded_pointer_is_pointee_typed() {
+        let sid = StructId(2);
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let slot = b.alloca(Type::ptr_to(Type::Struct(sid)), "node");
+        let p = b.load(Type::ptr_to(Type::Struct(sid)), slot);
+        // node->field0
+        let a = b.gep(
+            Type::Struct(sid),
+            p,
+            vec![GepIndex::Const(0), GepIndex::Const(0)],
+        );
+        b.ret(None);
+        let f = b.finish();
+        let idx = f.inst_index();
+        assert_eq!(resolve_loc(&f, &idx, a), MemLoc::Field(sid, vec![0]));
+    }
+
+    #[test]
+    fn cast_is_transparent() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let c = b.cast(Value::Global(GlobalId(7)), Type::ptr_to(Type::I8));
+        b.ret(None);
+        let f = b.finish();
+        let idx = f.inst_index();
+        assert_eq!(
+            resolve_loc(&f, &idx, c),
+            MemLoc::Global(GlobalId(7), vec![])
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Textual printing of modules (the inverse of [`crate::parser`]).
+
+use crate::func::Function;
+use crate::inst::{Callee, GepIndex, InstKind, Ordering, Terminator};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Prints a whole module in the textual format accepted by
+/// [`parse_module`](crate::parse_module).
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", m.name);
+    for s in &m.structs {
+        let fields: Vec<String> = s.fields.iter().map(|t| type_str(m, t)).collect();
+        let _ = writeln!(out, "struct %{} {{ {} }}", s.name, fields.join(", "));
+    }
+    for g in &m.globals {
+        let init = if g.init.iter().all(|&v| v == 0) {
+            "0".to_string()
+        } else if g.init.len() == 1 {
+            g.init[0].to_string()
+        } else {
+            format!(
+                "[{}]",
+                g.init
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        let _ = writeln!(out, "global @{}: {} = {}", g.name, type_str(m, &g.ty), init);
+    }
+    for f in &m.funcs {
+        out.push_str(&print_function(m, f));
+    }
+    out
+}
+
+/// Prints one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(n, t)| format!("%{}: {}", n, type_str(m, t)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "fn @{}({}) : {} {{",
+        f.name,
+        params.join(", "),
+        type_str(m, &f.ret)
+    );
+    for (i, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{}:", i);
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {}", inst_str(m, f, &inst.kind, inst.id.0));
+        }
+        let _ = writeln!(out, "  {}", term_str(m, f, &b.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Prints a type, naming structs.
+pub fn type_str(m: &Module, t: &Type) -> String {
+    match t {
+        Type::Struct(sid) => match m.structs.get(sid.0 as usize) {
+            Some(s) => format!("%{}", s.name),
+            None => format!("%s{}", sid.0),
+        },
+        Type::Ptr(p) => format!("ptr {}", type_str(m, p)),
+        Type::Array(e, n) => format!("[{} x {}]", n, type_str(m, e)),
+        other => other.to_string(),
+    }
+}
+
+/// Prints a value, naming params/globals/functions.
+pub fn value_str(m: &Module, f: &Function, v: Value) -> String {
+    match v {
+        Value::Const(c) => c.to_string(),
+        Value::Null => "null".to_string(),
+        Value::Global(g) => match m.globals.get(g.0 as usize) {
+            Some(def) => format!("@{}", def.name),
+            None => format!("@g{}", g.0),
+        },
+        Value::Param(i) => match f.params.get(i as usize) {
+            Some((n, _)) => format!("%{n}"),
+            None => format!("%arg{i}"),
+        },
+        Value::Inst(id) => format!("%t{}", id.0),
+        Value::Func(fid) => match m.funcs.get(fid.0 as usize) {
+            Some(def) => format!("@{}", def.name),
+            None => format!("@f{}", fid.0),
+        },
+    }
+}
+
+fn ord_suffix(ord: Ordering) -> String {
+    if ord == Ordering::NotAtomic {
+        String::new()
+    } else {
+        format!(" {}", ord.keyword())
+    }
+}
+
+fn vol_suffix(volatile: bool) -> &'static str {
+    if volatile {
+        " volatile"
+    } else {
+        ""
+    }
+}
+
+fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
+    let v = |val: Value| value_str(m, f, val);
+    match kind {
+        InstKind::Alloca { ty, name } => {
+            let _ = name; // cosmetic; dropped so print/parse is a fixpoint
+            format!("%t{id} = alloca {}", type_str(m, ty))
+        }
+        InstKind::Load { ptr, ty, ord, volatile } => format!(
+            "%t{id} = load {}, {}{}{}",
+            type_str(m, ty),
+            v(*ptr),
+            ord_suffix(*ord),
+            vol_suffix(*volatile)
+        ),
+        InstKind::Store { ptr, val, ty, ord, volatile } => format!(
+            "store {} {}, {}{}{}",
+            type_str(m, ty),
+            v(*val),
+            v(*ptr),
+            ord_suffix(*ord),
+            vol_suffix(*volatile)
+        ),
+        InstKind::Cmpxchg { ptr, expected, new, ty, ord } => format!(
+            "%t{id} = cmpxchg {} {}, {}, {}{}",
+            type_str(m, ty),
+            v(*ptr),
+            v(*expected),
+            v(*new),
+            ord_suffix(*ord)
+        ),
+        InstKind::Rmw { op, ptr, val, ty, ord } => format!(
+            "%t{id} = rmw {} {} {}, {}{}",
+            op.mnemonic(),
+            type_str(m, ty),
+            v(*ptr),
+            v(*val),
+            ord_suffix(*ord)
+        ),
+        InstKind::Fence { ord } => format!("fence {}", ord.keyword()),
+        InstKind::Gep { base, base_ty, indices } => {
+            let idxs: Vec<String> = indices
+                .iter()
+                .map(|i| match i {
+                    GepIndex::Const(c) => c.to_string(),
+                    GepIndex::Dyn(val) => v(*val),
+                })
+                .collect();
+            format!(
+                "%t{id} = gep {}, {}, {}",
+                type_str(m, base_ty),
+                v(*base),
+                idxs.join(", ")
+            )
+        }
+        InstKind::Bin { op, lhs, rhs } => {
+            format!("%t{id} = {} {}, {}", op.mnemonic(), v(*lhs), v(*rhs))
+        }
+        InstKind::Cmp { pred, lhs, rhs } => {
+            format!("%t{id} = cmp {} {}, {}", pred.mnemonic(), v(*lhs), v(*rhs))
+        }
+        InstKind::Cast { value, to } => {
+            format!("%t{id} = cast {} to {}", v(*value), type_str(m, to))
+        }
+        InstKind::Call { callee, args, ret_ty } => {
+            let name = match callee {
+                Callee::Func(fid) => match m.funcs.get(fid.0 as usize) {
+                    Some(def) => def.name.clone(),
+                    None => format!("f{}", fid.0),
+                },
+                Callee::Builtin(b) => b.name().to_string(),
+            };
+            let args: Vec<String> = args.iter().map(|a| v(*a)).collect();
+            if *ret_ty == Type::Void {
+                format!("call void @{}({})", name, args.join(", "))
+            } else {
+                format!(
+                    "%t{id} = call {} @{}({})",
+                    type_str(m, ret_ty),
+                    name,
+                    args.join(", ")
+                )
+            }
+        }
+    }
+}
+
+fn term_str(m: &Module, f: &Function, t: &Terminator) -> String {
+    match t {
+        Terminator::Br(b) => format!("br bb{}", b.0),
+        Terminator::CondBr { cond, then_bb, else_bb } => format!(
+            "condbr {}, bb{}, bb{}",
+            value_str(m, f, *cond),
+            then_bb.0,
+            else_bb.0
+        ),
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Ret(Some(v)) => format!("ret {}", value_str(m, f, *v)),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::GlobalDef;
+
+    #[test]
+    fn prints_simple_module() {
+        let mut m = Module::new("mp");
+        let flag = m.add_global(GlobalDef {
+            name: "flag".into(),
+            ty: Type::I32,
+            init: vec![0],
+        });
+        let mut b = FunctionBuilder::new("writer", vec![], Type::Void);
+        b.store_ord(
+            Type::I32,
+            Value::Global(flag),
+            Value::Const(1),
+            Ordering::SeqCst,
+            false,
+        );
+        b.ret(None);
+        m.add_func(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("module \"mp\""));
+        assert!(text.contains("global @flag: i32 = 0"));
+        assert!(text.contains("store i32 1, @flag seq_cst"));
+        assert!(text.contains("fn @writer() : void {"));
+    }
+
+    #[test]
+    fn prints_volatile_and_fence() {
+        let mut m = Module::new("v");
+        let g = m.add_global(GlobalDef {
+            name: "x".into(),
+            ty: Type::I64,
+            init: vec![7],
+        });
+        let mut b = FunctionBuilder::new("r", vec![], Type::I64);
+        let v = b.load_ord(Type::I64, Value::Global(g), Ordering::NotAtomic, true);
+        b.fence(Ordering::SeqCst);
+        b.ret(Some(v));
+        m.add_func(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("load i64, @x volatile"));
+        assert!(text.contains("fence seq_cst"));
+        assert!(text.contains("global @x: i64 = 7"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The MIR type system.
+//!
+//! Deliberately small: integers of a few widths, typed pointers, named
+//! structs and fixed-size arrays. Typed pointers (rather than LLVM's modern
+//! opaque pointers) are kept because the paper's type-based alias
+//! exploration keys on the *pointee type and offsets* of `getelementptr`
+//! instructions (§3.4).
+
+use crate::module::StructId;
+use std::fmt;
+
+/// A MIR type.
+///
+/// # Examples
+///
+/// ```
+/// use atomig_mir::Type;
+///
+/// let p = Type::ptr_to(Type::I32);
+/// assert!(p.is_ptr());
+/// assert_eq!(p.pointee(), Some(&Type::I32));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The absence of a value (function returns only).
+    Void,
+    /// A 1-bit boolean.
+    I1,
+    /// An 8-bit integer.
+    I8,
+    /// A 16-bit integer.
+    I16,
+    /// A 32-bit integer.
+    I32,
+    /// A 64-bit integer.
+    I64,
+    /// A pointer to a value of the contained type.
+    Ptr(Box<Type>),
+    /// A named struct declared in the enclosing [`Module`](crate::Module).
+    Struct(StructId),
+    /// A fixed-size array `[len x elem]`.
+    Array(Box<Type>, u32),
+}
+
+impl Type {
+    /// Returns a pointer type to `pointee`.
+    pub fn ptr_to(pointee: Type) -> Type {
+        Type::Ptr(Box::new(pointee))
+    }
+
+    /// Returns an array type `[len x elem]`.
+    pub fn array_of(elem: Type, len: u32) -> Type {
+        Type::Array(Box::new(elem), len)
+    }
+
+    /// Returns `true` if this is any integer type (including `i1`).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+    }
+
+    /// Returns `true` if this is a pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Returns `true` if the type is a first-class scalar (int or pointer),
+    /// i.e. something a load/store can move in one access.
+    pub fn is_scalar(&self) -> bool {
+        self.is_int() || self.is_ptr()
+    }
+
+    /// The pointee of a pointer type, or `None` for non-pointers.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Bit width of an integer type, or `None` for non-integers.
+    pub fn bit_width(&self) -> Option<u32> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I8 => Some(8),
+            Type::I16 => Some(16),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Number of scalar slots this type occupies in the flat memory model
+    /// used by the interpreter. Structs are resolved via `struct_sizes`,
+    /// which maps [`StructId`] to a precomputed slot count.
+    pub fn slot_count(&self, struct_sizes: &[u32]) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::Ptr(_) => 1,
+            Type::Struct(sid) => struct_sizes.get(sid.0 as usize).copied().unwrap_or(0),
+            Type::Array(elem, n) => elem.slot_count(struct_sizes) * n,
+        }
+    }
+
+    /// An integer constant's natural truncation mask for this type, used by
+    /// the interpreter to model wrap-around. Returns `u64::MAX` for
+    /// pointers/other.
+    pub fn value_mask(&self) -> u64 {
+        match self.bit_width() {
+            Some(64) | None => u64::MAX,
+            Some(w) => (1u64 << w) - 1,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I8 => write!(f, "i8"),
+            Type::I16 => write!(f, "i16"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::Ptr(p) => write!(f, "ptr {p}"),
+            Type::Struct(sid) => write!(f, "%s{}", sid.0),
+            Type::Array(e, n) => write!(f, "[{n} x {e}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_classification() {
+        assert!(Type::I32.is_int());
+        assert!(Type::I32.is_scalar());
+        assert!(Type::ptr_to(Type::I8).is_scalar());
+        assert!(!Type::Void.is_scalar());
+        assert!(!Type::array_of(Type::I32, 3).is_scalar());
+    }
+
+    #[test]
+    fn pointee_access() {
+        let t = Type::ptr_to(Type::ptr_to(Type::I64));
+        assert_eq!(t.pointee().and_then(Type::pointee), Some(&Type::I64));
+        assert_eq!(Type::I8.pointee(), None);
+    }
+
+    #[test]
+    fn slot_counts() {
+        let sizes = vec![3u32]; // one struct with 3 slots
+        assert_eq!(Type::I32.slot_count(&sizes), 1);
+        assert_eq!(Type::array_of(Type::I64, 4).slot_count(&sizes), 4);
+        assert_eq!(Type::Struct(StructId(0)).slot_count(&sizes), 3);
+        assert_eq!(
+            Type::array_of(Type::Struct(StructId(0)), 2).slot_count(&sizes),
+            6
+        );
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Type::I1.value_mask(), 1);
+        assert_eq!(Type::I8.value_mask(), 0xff);
+        assert_eq!(Type::I64.value_mask(), u64::MAX);
+        assert_eq!(Type::ptr_to(Type::I8).value_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::ptr_to(Type::I32).to_string(), "ptr i32");
+        assert_eq!(Type::array_of(Type::I8, 16).to_string(), "[16 x i8]");
+    }
+}

@@ -1,0 +1,164 @@
+//! The Arm-calibrated barrier cost model used by the performance
+//! experiments (Tables 4–6).
+//!
+//! The paper's performance story rests on two facts about Armv8 servers
+//! (measured by Liu et al., "No Barrier in the Road", PPoPP'20, the
+//! paper's reference 48): implicit barriers (`LDAR`/`STLR` from SC atomics) are
+//! cheap — a small constant over plain accesses — while explicit barriers
+//! (`DMB ISH` from fences) are roughly an order of magnitude more
+//! expensive. The default weights encode those ratios; absolute numbers
+//! are abstract cost units, not nanoseconds.
+
+use crate::exec::ExecStats;
+
+/// Cost weights per dynamic operation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// A plain load (`LDR`).
+    pub plain_load: u64,
+    /// A plain store (`STR`).
+    pub plain_store: u64,
+    /// An acquire load (`LDAR`-lite: acquire ordering below SC).
+    pub acq_load: u64,
+    /// A release store (`STLR`-lite).
+    pub rel_store: u64,
+    /// A sequentially consistent atomic load (`LDAR`).
+    pub sc_load: u64,
+    /// A sequentially consistent atomic store (`STLR`).
+    pub sc_store: u64,
+    /// An atomic RMW / compare-exchange (`LDAXR`/`STLXR` pair or LSE op).
+    pub rmw: u64,
+    /// An explicit full fence (`DMB ISH`).
+    pub fence: u64,
+    /// A one-sided fence (`DMB ISHST`/`ISHLD`), as expert Arm ports use.
+    pub light_fence: u64,
+    /// Any other instruction (ALU, branch, call overhead).
+    pub other: u64,
+    /// An access to the thread's own stack. Defaults to 0: after `-O2`
+    /// register allocation these are registers, and they can never carry
+    /// barriers (AtoMig/naive/Lasagne all leave provably-private accesses
+    /// alone), so pricing them would only dilute barrier ratios.
+    pub stack_op: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ARMV8
+    }
+}
+
+impl CostModel {
+    /// Default Armv8-server weights (ratios after Liu et al.).
+    pub const ARMV8: CostModel = CostModel {
+        plain_load: 1,
+        plain_store: 1,
+        acq_load: 2,
+        rel_store: 2,
+        sc_load: 4,
+        sc_store: 4,
+        rmw: 8,
+        fence: 20,
+        light_fence: 6,
+        other: 1,
+        stack_op: 0,
+    };
+
+    /// A hypothetical machine where implicit and explicit barriers cost
+    /// the same (for ablation benches).
+    pub const FLAT_BARRIERS: CostModel = CostModel {
+        sc_load: 20,
+        sc_store: 20,
+        acq_load: 20,
+        rel_store: 20,
+        rmw: 20,
+        fence: 20,
+        ..CostModel::ARMV8
+    };
+
+    /// Total cost of an execution's dynamic counters.
+    pub fn cost(&self, s: &ExecStats) -> u64 {
+        let sc_loads = s.atomic_loads - s.acq_loads;
+        let sc_stores = s.atomic_stores - s.rel_stores;
+        s.plain_loads * self.plain_load
+            + s.plain_stores * self.plain_store
+            + s.acq_loads * self.acq_load
+            + s.rel_stores * self.rel_store
+            + sc_loads * self.sc_load
+            + sc_stores * self.sc_store
+            + s.rmws * self.rmw
+            + s.fences * self.fence
+            + s.light_fences * self.light_fence
+            + s.other_ops * self.other
+            + s.stack_ops * self.stack_op
+    }
+
+    /// Slowdown of `variant` relative to `baseline` under this model.
+    pub fn slowdown(&self, baseline: &ExecStats, variant: &ExecStats) -> f64 {
+        let b = self.cost(baseline).max(1);
+        let v = self.cost(variant);
+        v as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(
+        plain_loads: u64,
+        plain_stores: u64,
+        atomic_loads: u64,
+        atomic_stores: u64,
+        rmws: u64,
+        fences: u64,
+    ) -> ExecStats {
+        ExecStats {
+            plain_loads,
+            plain_stores,
+            atomic_loads,
+            atomic_stores,
+            rmws,
+            fences,
+            ..ExecStats::default()
+        }
+    }
+
+    #[test]
+    fn explicit_barriers_cost_more_than_implicit() {
+        let cm = CostModel::ARMV8;
+        assert!(cm.fence > cm.sc_store);
+        assert!(cm.sc_store > cm.plain_store);
+        // One fenced store vs one SC store: the fence path is pricier.
+        let fenced = stats(0, 1, 0, 0, 0, 1);
+        let implicit = stats(0, 0, 0, 1, 0, 0);
+        assert!(cm.cost(&fenced) > cm.cost(&implicit));
+    }
+
+    #[test]
+    fn slowdown_is_relative() {
+        let cm = CostModel::ARMV8;
+        let base = stats(100, 100, 0, 0, 0, 0);
+        let all_sc = stats(0, 0, 100, 100, 0, 0);
+        let s = cm.slowdown(&base, &all_sc);
+        assert!((s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sc_split_accounts_acquire_release() {
+        let cm = CostModel::ARMV8;
+        let mut s = stats(0, 0, 10, 10, 0, 0);
+        s.acq_loads = 10;
+        s.rel_stores = 10;
+        // All acquire/release: cheaper than all-SC.
+        assert_eq!(cm.cost(&s), 10 * cm.acq_load + 10 * cm.rel_store);
+    }
+
+    #[test]
+    fn flat_model_removes_the_gap() {
+        let cm = CostModel::FLAT_BARRIERS;
+        let fenced = stats(0, 1, 0, 0, 0, 1);
+        let implicit = stats(0, 0, 0, 1, 0, 0);
+        // 1 plain store + 1 fence (21) vs 1 SC store (20): nearly equal.
+        assert!(cm.cost(&fenced) <= cm.cost(&implicit) + 1);
+    }
+}

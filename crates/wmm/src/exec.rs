@@ -1,0 +1,1131 @@
+//! The threaded MIR executor, generic over a [`MemModel`].
+//!
+//! One [`Machine`] instance is one program state: threads (frames,
+//! registers, stack pointers), the memory model state, and bookkeeping.
+//! The model checker clones machines to branch over nondeterminism; the
+//! interpreter drives a single machine deterministically. Execution runs
+//! over a [`CompiledProgram`] so the hot path never allocates.
+
+use crate::compiled::{CInst, CTerm, CompiledProgram};
+use crate::mem::{stack_base, stack_owner, Layout, HEAP_BASE, STACK_SIZE};
+use crate::models::{Chooser, MemModel};
+use atomig_mir::{BlockId, Builtin, FuncId, InstId, Module, Ordering, Value};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Why a machine stopped making progress.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Failure {
+    /// An `assert` builtin saw 0.
+    Assert {
+        /// Function containing the assertion.
+        func: String,
+    },
+    /// A runtime error (null deref, division by zero, budget blown...).
+    Trap(String),
+    /// No thread can run but not all have finished.
+    Deadlock,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Assert { func } => write!(f, "assertion violated in @{func}"),
+            Failure::Trap(msg) => write!(f, "trap: {msg}"),
+            Failure::Deadlock => write!(f, "deadlock"),
+        }
+    }
+}
+
+/// Scheduling state of a thread.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ThreadState {
+    /// Can take a step.
+    Runnable,
+    /// Waiting in `join(target)`.
+    Join(usize),
+    /// Waiting at the barrier.
+    Barrier,
+    /// Finished with a return value.
+    Done(i64),
+}
+
+/// One call frame.
+///
+/// Registers are a dense array indexed by [`InstId`] — cloning a frame is
+/// a memcpy, which keeps the model checker's state cloning cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: u32,
+    regs: Vec<i64>,
+    allocas: BTreeMap<InstId, u64>,
+    params: Vec<i64>,
+    /// Caller register receiving our return value.
+    ret_to: Option<InstId>,
+    /// Thread stack pointer at frame entry; restored on return so
+    /// long-running call loops do not leak stack.
+    saved_sp: u64,
+}
+
+impl Frame {
+    fn new(prog: &CompiledProgram, func: FuncId, params: Vec<i64>, ret_to: Option<InstId>) -> Frame {
+        Frame {
+            func,
+            block: BlockId(0),
+            ip: 0,
+            regs: vec![0; prog.funcs[func.0 as usize].n_regs as usize],
+            allocas: BTreeMap::new(),
+            params,
+            ret_to,
+            saved_sp: 0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, id: InstId, v: i64) {
+        self.regs[id.0 as usize] = v;
+    }
+}
+
+/// One thread.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Thread {
+    /// Call stack, innermost last.
+    pub frames: Vec<Frame>,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Next free stack slot.
+    sp: u64,
+    /// Stack limit.
+    stack_end: u64,
+}
+
+/// Dynamic execution counters (Table 4's rows and the cost model's input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ExecStats {
+    /// Plain (non-atomic) loads executed.
+    pub plain_loads: u64,
+    /// Plain (non-atomic) stores executed.
+    pub plain_stores: u64,
+    /// Atomic loads (any ordering) executed.
+    pub atomic_loads: u64,
+    /// Atomic stores (any ordering) executed.
+    pub atomic_stores: u64,
+    /// Acquire-or-weaker atomic loads (subset of `atomic_loads`).
+    pub acq_loads: u64,
+    /// Release-or-weaker atomic stores (subset of `atomic_stores`).
+    pub rel_stores: u64,
+    /// Atomic RMW operations (including cmpxchg).
+    pub rmws: u64,
+    /// Accesses to the thread's own stack (registers/spills after `-O2`;
+    /// priced separately by the cost model).
+    pub stack_ops: u64,
+    /// Explicit full (SC) fences executed (`DMB ISH`).
+    pub fences: u64,
+    /// One-sided fences executed (`DMB ISHST`/`ISHLD`; acquire/release).
+    pub light_fences: u64,
+    /// Everything else (ALU, branches, calls...).
+    pub other_ops: u64,
+}
+
+impl ExecStats {
+    /// Total dynamic memory accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.plain_loads + self.plain_stores + self.atomic_loads + self.atomic_stores + self.rmws
+    }
+}
+
+/// What a visible step did (used by the checker for classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Executed up to and including one visible action.
+    Progress,
+    /// The thread blocked (join/barrier) before a visible action.
+    Blocked,
+    /// The thread finished.
+    Finished,
+    /// The machine failed (see [`Machine::failure`]).
+    Failed,
+    /// `assume(0)` pruned this path.
+    Pruned,
+}
+
+/// An executable program state.
+#[derive(Clone)]
+pub struct Machine<'m, M: MemModel> {
+    module: &'m Module,
+    layout: Rc<Layout>,
+    prog: Rc<CompiledProgram>,
+    /// The memory model state.
+    pub mem: M,
+    /// All threads ever created (tid = index).
+    pub threads: Vec<Thread>,
+    /// Thread-private stack memory, kept outside the memory model: a
+    /// thread's own stack is not observable by others (the same
+    /// assumption the visibility reduction makes), so modelling write
+    /// histories for it would only bloat states.
+    stack_mem: BTreeMap<u64, i64>,
+    heap_next: u64,
+    barrier_waiting: u64,
+    /// Set on assertion violation / trap / deadlock.
+    pub failure: Option<Failure>,
+    /// Set when `assume(0)` made the path infeasible.
+    pub pruned: bool,
+    /// Set when the thread executed a `pause` spin hint; deterministic
+    /// schedulers use it to rotate away from spin-waiters.
+    pub yield_requested: bool,
+    /// Values printed via the `print` builtin.
+    pub output: Vec<i64>,
+    /// Dynamic counters.
+    pub stats: ExecStats,
+    /// Total visible steps taken.
+    pub steps: u64,
+    /// Maximum invisible instructions per visible step before trapping.
+    pub invisible_budget: u64,
+}
+
+impl<'m, M: MemModel> Machine<'m, M> {
+    /// Creates a machine about to run `entry(args...)` on thread 0.
+    pub fn new(module: &'m Module, entry: FuncId, args: Vec<i64>, mut mem: M) -> Self {
+        let layout = Rc::new(Layout::new(module));
+        let prog = Rc::new(CompiledProgram::compile(module, &layout));
+        for (addr, val) in layout.initial_values(module) {
+            mem.init(addr, val);
+        }
+        mem.ensure_threads(1);
+        let mut entry_frame = Frame::new(&prog, entry, args, None);
+        entry_frame.saved_sp = stack_base(0);
+        let thread = Thread {
+            frames: vec![entry_frame],
+            state: ThreadState::Runnable,
+            sp: stack_base(0),
+            stack_end: stack_base(0) + STACK_SIZE,
+        };
+        Machine {
+            module,
+            layout,
+            prog,
+            mem,
+            threads: vec![thread],
+            stack_mem: BTreeMap::new(),
+            heap_next: HEAP_BASE,
+            barrier_waiting: 0,
+            failure: None,
+            pruned: false,
+            yield_requested: false,
+            output: Vec::new(),
+            stats: ExecStats::default(),
+            steps: 0,
+            invisible_budget: 1_000_000,
+        }
+    }
+
+    /// Creates a machine running the module's `main` function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no `main`.
+    pub fn for_main(module: &'m Module, mem: M) -> Self {
+        let main = module.func_by_name("main").expect("module has no @main");
+        Machine::new(module, main, vec![], mem)
+    }
+
+    /// The module under execution.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// The memory layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Threads that can currently take a step (resolving join wake-ups).
+    pub fn runnable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (tid, t) in self.threads.iter().enumerate() {
+            match &t.state {
+                ThreadState::Runnable => out.push(tid),
+                ThreadState::Join(target) => {
+                    if matches!(
+                        self.threads.get(*target).map(|t| &t.state),
+                        Some(ThreadState::Done(_))
+                    ) {
+                        out.push(tid);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether every thread has finished.
+    pub fn all_done(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.state, ThreadState::Done(_)))
+    }
+
+    /// The final value of global `name` (post-mortem inspection).
+    pub fn global_value(&self, name: &str) -> Option<i64> {
+        let g = self.module.global_by_name(name)?;
+        Some(self.mem.peek(self.layout.global_addr(g)))
+    }
+
+    /// The return value of thread `tid`, if finished.
+    pub fn thread_result(&self, tid: usize) -> Option<i64> {
+        match self.threads.get(tid)?.state {
+            ThreadState::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A 128-bit fingerprint of the whole state, for visited-state pruning.
+    /// Uses two independently seeded multiply-xor hashers — much faster
+    /// than SipHash on the register files, with 128 bits against
+    /// collisions.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h1 = FxHasher::new(0x9e37_79b9_7f4a_7c15);
+        self.hash_state(&mut h1);
+        let mut h2 = FxHasher::new(0xc2b2_ae3d_27d4_eb4f);
+        self.hash_state(&mut h2);
+        ((h1.finish() as u128) << 64) | h2.finish() as u128
+    }
+
+    fn hash_state<H: Hasher>(&self, h: &mut H) {
+        self.threads.hash(h);
+        self.stack_mem.hash(h);
+        self.mem.hash(h);
+        self.heap_next.hash(h);
+        self.barrier_waiting.hash(h);
+        self.pruned.hash(h);
+        self.failure.hash(h);
+    }
+
+    #[inline]
+    fn eval(&self, tid: usize, v: Value) -> i64 {
+        let frame = self.threads[tid].frames.last().expect("live frame");
+        match v {
+            Value::Const(c) => c,
+            Value::Null => 0,
+            Value::Global(g) => self.layout.global_addr(g) as i64,
+            Value::Param(i) => frame.params.get(i as usize).copied().unwrap_or(0),
+            Value::Inst(id) => frame.regs.get(id.0 as usize).copied().unwrap_or(0),
+            Value::Func(f) => f.0 as i64,
+        }
+    }
+
+    fn trap(&mut self, msg: impl Into<String>) -> InstOutcome {
+        self.failure = Some(Failure::Trap(msg.into()));
+        InstOutcome::Failed
+    }
+
+    /// Is an access to `addr` by `tid` visible to other threads?
+    /// Own-stack traffic is invisible (shared data must live in globals or
+    /// on the heap for the checker's interleaving reduction to be sound;
+    /// all bundled workloads respect this).
+    #[inline]
+    fn is_visible(&self, tid: usize, addr: u64) -> bool {
+        stack_owner(addr) != Some(tid)
+    }
+
+    /// Performs one pending internal memory step (e.g. a TSO buffer
+    /// flush) for `tid`.
+    pub fn internal_step(&mut self, tid: usize) {
+        self.mem.internal_step(tid);
+        self.steps += 1;
+    }
+
+    /// Number of pending internal memory steps for `tid`.
+    pub fn internal_steps(&self, tid: usize) -> usize {
+        self.mem.internal_steps(tid)
+    }
+
+    /// Runs `tid` until it completes exactly one visible action, blocks,
+    /// finishes, fails, or is pruned.
+    pub fn step_visible(&mut self, tid: usize, ch: &mut dyn Chooser) -> StepOutcome {
+        // Wake a join-blocked thread whose target finished.
+        if let ThreadState::Join(target) = self.threads[tid].state {
+            match self.threads.get(target).map(|t| t.state.clone()) {
+                Some(ThreadState::Done(_)) => {
+                    self.mem.on_join(tid, target);
+                    self.threads[tid].state = ThreadState::Runnable;
+                }
+                _ => return StepOutcome::Blocked,
+            }
+        }
+        if !matches!(self.threads[tid].state, ThreadState::Runnable) {
+            return StepOutcome::Blocked;
+        }
+        let mut budget = self.invisible_budget;
+        let mut local_work: u32 = 0;
+        loop {
+            if budget == 0 {
+                self.trap("invisible-step budget exhausted (local infinite loop?)");
+                return StepOutcome::Failed;
+            }
+            budget -= 1;
+            // Purely local computation still counts as work: bill it
+            // coarsely against `steps` so schedulers' step limits bound
+            // local loops too.
+            local_work += 1;
+            if local_work == 1024 {
+                local_work = 0;
+                self.steps += 1;
+            }
+            match self.step_inst(tid, ch) {
+                InstOutcome::Invisible => continue,
+                InstOutcome::Visible => {
+                    self.steps += 1;
+                    return StepOutcome::Progress;
+                }
+                InstOutcome::Blocked => return StepOutcome::Blocked,
+                InstOutcome::Finished => {
+                    self.steps += 1;
+                    return StepOutcome::Finished;
+                }
+                InstOutcome::Failed => return StepOutcome::Failed,
+                InstOutcome::Pruned => {
+                    self.pruned = true;
+                    return StepOutcome::Pruned;
+                }
+            }
+        }
+    }
+
+    fn step_inst(&mut self, tid: usize, ch: &mut dyn Chooser) -> InstOutcome {
+        let prog = Rc::clone(&self.prog);
+        let (func, block, ip) = {
+            let frame = self.threads[tid].frames.last().expect("live frame");
+            (frame.func, frame.block, frame.ip as usize)
+        };
+        let cblock = &prog.funcs[func.0 as usize].blocks[block.0 as usize];
+
+        if ip >= cblock.insts.len() {
+            return self.step_terminator(tid, cblock.term);
+        }
+        self.threads[tid].frames.last_mut().expect("frame").ip += 1;
+
+        match &cblock.insts[ip] {
+            CInst::Alloca { id, slots } => {
+                let known = self.threads[tid]
+                    .frames
+                    .last()
+                    .expect("frame")
+                    .allocas
+                    .get(id)
+                    .copied();
+                if let Some(addr) = known {
+                    self.threads[tid]
+                        .frames
+                        .last_mut()
+                        .expect("frame")
+                        .set(*id, addr as i64);
+                    return InstOutcome::Invisible;
+                }
+                let addr = self.threads[tid].sp;
+                if addr + slots > self.threads[tid].stack_end {
+                    return self.trap("stack overflow");
+                }
+                self.threads[tid].sp += slots;
+                let frame = self.threads[tid].frames.last_mut().expect("frame");
+                frame.allocas.insert(*id, addr);
+                frame.set(*id, addr as i64);
+                self.stats.other_ops += 1;
+                InstOutcome::Invisible
+            }
+            CInst::Load { id, ptr, ord } => {
+                let addr = self.eval(tid, *ptr) as u64;
+                if addr == 0 {
+                    return self.trap("null pointer load");
+                }
+                let own_stack = stack_owner(addr) == Some(tid);
+                let val = if own_stack {
+                    self.stack_mem.get(&addr).copied().unwrap_or(0)
+                } else {
+                    self.mem.load(tid, addr, *ord, ch)
+                };
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, val);
+                if own_stack {
+                    self.stats.stack_ops += 1;
+                } else if ord.is_atomic() {
+                    self.stats.atomic_loads += 1;
+                    if *ord != Ordering::SeqCst {
+                        self.stats.acq_loads += 1;
+                    }
+                } else {
+                    self.stats.plain_loads += 1;
+                }
+                visibility(!own_stack)
+            }
+            CInst::Store { ptr, val, ord } => {
+                let addr = self.eval(tid, *ptr) as u64;
+                if addr == 0 {
+                    return self.trap("null pointer store");
+                }
+                let v = self.eval(tid, *val);
+                let own_stack = stack_owner(addr) == Some(tid);
+                if own_stack {
+                    self.stack_mem.insert(addr, v);
+                } else {
+                    self.mem.store(tid, addr, v, *ord);
+                }
+                if own_stack {
+                    self.stats.stack_ops += 1;
+                } else if ord.is_atomic() {
+                    self.stats.atomic_stores += 1;
+                    if *ord != Ordering::SeqCst {
+                        self.stats.rel_stores += 1;
+                    }
+                } else {
+                    self.stats.plain_stores += 1;
+                }
+                visibility(!own_stack)
+            }
+            CInst::Cmpxchg { id, ptr, expected, new, ord } => {
+                let addr = self.eval(tid, *ptr) as u64;
+                if addr == 0 {
+                    return self.trap("null pointer cmpxchg");
+                }
+                let e = self.eval(tid, *expected);
+                let n = self.eval(tid, *new);
+                let old = if stack_owner(addr) == Some(tid) {
+                    let old = self.stack_mem.get(&addr).copied().unwrap_or(0);
+                    if old == e {
+                        self.stack_mem.insert(addr, n);
+                    }
+                    old
+                } else {
+                    self.mem.cmpxchg(tid, addr, e, n, *ord)
+                };
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, old);
+                self.stats.rmws += 1;
+                visibility(self.is_visible(tid, addr))
+            }
+            CInst::Rmw { id, op, ptr, val, ord } => {
+                let addr = self.eval(tid, *ptr) as u64;
+                if addr == 0 {
+                    return self.trap("null pointer rmw");
+                }
+                let v = self.eval(tid, *val);
+                let old = if stack_owner(addr) == Some(tid) {
+                    let old = self.stack_mem.get(&addr).copied().unwrap_or(0);
+                    self.stack_mem.insert(addr, op.apply(old, v));
+                    old
+                } else {
+                    self.mem.rmw(tid, addr, *op, v, *ord)
+                };
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, old);
+                self.stats.rmws += 1;
+                visibility(self.is_visible(tid, addr))
+            }
+            CInst::Fence { ord } => {
+                self.mem.fence(tid, *ord);
+                if *ord == Ordering::SeqCst {
+                    self.stats.fences += 1;
+                } else {
+                    self.stats.light_fences += 1;
+                }
+                InstOutcome::Visible
+            }
+            CInst::Gep { id, base, const_off, dyn_terms } => {
+                let mut addr = self.eval(tid, *base).wrapping_add(*const_off);
+                for t in dyn_terms.iter() {
+                    addr = addr.wrapping_add(self.eval(tid, t.value).wrapping_mul(t.stride));
+                }
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, addr);
+                // Address arithmetic folds into addressing modes on Arm;
+                // price it with the register class.
+                self.stats.stack_ops += 1;
+                InstOutcome::Invisible
+            }
+            CInst::Bin { id, op, lhs, rhs } => {
+                let l = self.eval(tid, *lhs);
+                let r = self.eval(tid, *rhs);
+                use atomig_mir::BinOp::*;
+                let res = match op {
+                    Add => l.wrapping_add(r),
+                    Sub => l.wrapping_sub(r),
+                    Mul => l.wrapping_mul(r),
+                    Div => {
+                        if r == 0 {
+                            return self.trap("division by zero");
+                        }
+                        l.wrapping_div(r)
+                    }
+                    Rem => {
+                        if r == 0 {
+                            return self.trap("remainder by zero");
+                        }
+                        l.wrapping_rem(r)
+                    }
+                    And => l & r,
+                    Or => l | r,
+                    Xor => l ^ r,
+                    Shl => l.wrapping_shl(r as u32),
+                    Shr => l.wrapping_shr(r as u32),
+                };
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, res);
+                self.stats.other_ops += 1;
+                InstOutcome::Invisible
+            }
+            CInst::Cmp { id, pred, lhs, rhs } => {
+                let l = self.eval(tid, *lhs);
+                let r = self.eval(tid, *rhs);
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, pred.eval(l, r) as i64);
+                self.stats.other_ops += 1;
+                InstOutcome::Invisible
+            }
+            CInst::Cast { id, value, mask } => {
+                let v = self.eval(tid, *value);
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(*id, (v as u64 & mask) as i64);
+                self.stats.other_ops += 1;
+                InstOutcome::Invisible
+            }
+            CInst::CallFunc { id, func, args } => {
+                let arg_vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
+                self.stats.other_ops += 1;
+                let mut frame = Frame::new(&prog, *func, arg_vals, *id);
+                frame.saved_sp = self.threads[tid].sp;
+                self.threads[tid].frames.push(frame);
+                InstOutcome::Invisible
+            }
+            CInst::CallBuiltin { id, builtin, args } => {
+                let arg_vals: Vec<i64> = args.iter().map(|a| self.eval(tid, *a)).collect();
+                self.stats.other_ops += 1;
+                self.step_builtin(tid, *id, *builtin, &arg_vals, ch)
+            }
+        }
+    }
+
+    fn step_builtin(
+        &mut self,
+        tid: usize,
+        id: InstId,
+        b: Builtin,
+        args: &[i64],
+        ch: &mut dyn Chooser,
+    ) -> InstOutcome {
+        match b {
+            Builtin::Spawn => {
+                let fid = FuncId(args[0] as u32);
+                if fid.0 as usize >= self.module.funcs.len() {
+                    return self.trap("spawn of unknown function");
+                }
+                let child = self.threads.len();
+                self.mem.ensure_threads(child + 1);
+                self.mem.on_spawn(tid, child);
+                let mut frame = Frame::new(&self.prog.clone(), fid, vec![args[1]], None);
+                frame.saved_sp = stack_base(child);
+                self.threads.push(Thread {
+                    frames: vec![frame],
+                    state: ThreadState::Runnable,
+                    sp: stack_base(child),
+                    stack_end: stack_base(child) + STACK_SIZE,
+                });
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(id, child as i64);
+                // Spawning is a visible (synchronizing) event.
+                InstOutcome::Visible
+            }
+            Builtin::Join => {
+                let target = args[0] as usize;
+                match self.threads.get(target).map(|t| t.state.clone()) {
+                    Some(ThreadState::Done(_)) => {
+                        self.mem.on_join(tid, target);
+                        InstOutcome::Visible
+                    }
+                    Some(_) => {
+                        // Re-execute the join when we are next scheduled.
+                        self.threads[tid].frames.last_mut().expect("frame").ip -= 1;
+                        self.threads[tid].state = ThreadState::Join(target);
+                        InstOutcome::Blocked
+                    }
+                    None => self.trap("join of unknown thread"),
+                }
+            }
+            Builtin::Assert => {
+                if args[0] == 0 {
+                    let fname = {
+                        let frame = self.threads[tid].frames.last().expect("frame");
+                        self.prog.funcs[frame.func.0 as usize].name.clone()
+                    };
+                    self.failure = Some(Failure::Assert { func: fname });
+                    InstOutcome::Failed
+                } else {
+                    InstOutcome::Invisible
+                }
+            }
+            Builtin::Assume => {
+                if args[0] == 0 {
+                    InstOutcome::Pruned
+                } else {
+                    InstOutcome::Invisible
+                }
+            }
+            Builtin::BarrierWait => {
+                let n = args[0] as u64;
+                self.barrier_waiting += 1;
+                if self.barrier_waiting >= n {
+                    // Release everyone (including us). The barrier
+                    // synchronizes all participants: emulate with an SC
+                    // fence per released thread.
+                    self.barrier_waiting = 0;
+                    for t in 0..self.threads.len() {
+                        if matches!(self.threads[t].state, ThreadState::Barrier) {
+                            self.mem.fence(t, Ordering::SeqCst);
+                            self.threads[t].state = ThreadState::Runnable;
+                        }
+                    }
+                    self.mem.fence(tid, Ordering::SeqCst);
+                    InstOutcome::Visible
+                } else {
+                    self.threads[tid].state = ThreadState::Barrier;
+                    self.mem.fence(tid, Ordering::SeqCst);
+                    InstOutcome::Blocked
+                }
+            }
+            Builtin::Malloc => {
+                let slots = (args[0].max(1)) as u64;
+                let addr = self.heap_next;
+                self.heap_next += slots;
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(id, addr as i64);
+                InstOutcome::Invisible
+            }
+            Builtin::Free => InstOutcome::Invisible,
+            Builtin::Pause => {
+                self.stats.other_ops += 1;
+                self.yield_requested = true;
+                InstOutcome::Invisible
+            }
+            Builtin::CompilerBarrier => InstOutcome::Invisible,
+            Builtin::Nondet => {
+                let v = ch.choose(2) as i64;
+                self.threads[tid]
+                    .frames
+                    .last_mut()
+                    .expect("frame")
+                    .set(id, v);
+                InstOutcome::Invisible
+            }
+            Builtin::Print => {
+                self.output.push(args[0]);
+                InstOutcome::Invisible
+            }
+        }
+    }
+
+    fn step_terminator(&mut self, tid: usize, term: CTerm) -> InstOutcome {
+        match term {
+            CTerm::Br(b) => {
+                let frame = self.threads[tid].frames.last_mut().expect("frame");
+                frame.block = b;
+                frame.ip = 0;
+                InstOutcome::Invisible
+            }
+            CTerm::CondBr { cond, then_bb, else_bb } => {
+                let c = self.eval(tid, cond);
+                let frame = self.threads[tid].frames.last_mut().expect("frame");
+                frame.block = if c != 0 { then_bb } else { else_bb };
+                frame.ip = 0;
+                self.stats.other_ops += 1;
+                InstOutcome::Invisible
+            }
+            CTerm::Ret(v) => {
+                let val = v.map(|v| self.eval(tid, v)).unwrap_or(0);
+                let frame = self.threads[tid].frames.pop().expect("frame");
+                self.threads[tid].sp = frame.saved_sp;
+                if let Some(parent) = self.threads[tid].frames.last_mut() {
+                    if let Some(dst) = frame.ret_to {
+                        parent.set(dst, val);
+                    }
+                    InstOutcome::Invisible
+                } else {
+                    self.mem.on_exit(tid);
+                    self.threads[tid].state = ThreadState::Done(val);
+                    InstOutcome::Finished
+                }
+            }
+            CTerm::Unreachable => self.trap("reached unreachable"),
+        }
+    }
+}
+
+/// A fast multiply-rotate hasher (FxHash-style) for state fingerprints.
+struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    fn new(seed: u64) -> FxHasher {
+        FxHasher { state: seed }
+    }
+
+    #[inline]
+    fn mix(&mut self, w: u64) {
+        self.state = (self.state.rotate_left(5) ^ w).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstOutcome {
+    Invisible,
+    Visible,
+    Blocked,
+    Finished,
+    Failed,
+    Pruned,
+}
+
+#[inline]
+fn visibility(visible: bool) -> InstOutcome {
+    if visible {
+        InstOutcome::Visible
+    } else {
+        InstOutcome::Invisible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{FirstChoice, ScMem};
+    use atomig_mir::parse_module;
+
+    fn run_to_completion(src: &str) -> Machine<'_, ScMem> {
+        // Leak the module so the machine can borrow it in tests.
+        let m = Box::leak(Box::new(parse_module(src).unwrap()));
+        let mut machine = Machine::for_main(m, ScMem::default());
+        let mut ch = FirstChoice;
+        let mut guard = 0;
+        while !machine.all_done() && machine.failure.is_none() && !machine.pruned {
+            let runnable = machine.runnable();
+            if runnable.is_empty() {
+                machine.failure = Some(Failure::Deadlock);
+                break;
+            }
+            machine.step_visible(runnable[0], &mut ch);
+            guard += 1;
+            assert!(guard < 100_000, "test did not terminate");
+        }
+        machine
+    }
+
+    #[test]
+    fn computes_factorial_recursively() {
+        let m = run_to_completion(
+            r#"
+            global @out: i64 = 0
+            fn @fact(%n: i64) : i64 {
+            bb0:
+              %c = cmp le %n, 1
+              condbr %c, base, rec_case
+            base:
+              ret 1
+            rec_case:
+              %n1 = sub %n, 1
+              %r = call i64 @fact(%n1)
+              %p = mul %n, %r
+              ret %p
+            }
+            fn @main() : void {
+            bb0:
+              %f = call i64 @fact(5)
+              store i64 %f, @out
+              ret
+            }
+            "#,
+        );
+        assert!(m.failure.is_none());
+        assert_eq!(m.global_value("out"), Some(120));
+    }
+
+    #[test]
+    fn spawn_join_passes_results_through_memory() {
+        let m = run_to_completion(
+            r#"
+            global @x: i64 = 0
+            fn @worker(%v: i64) : void {
+            bb0:
+              %d = mul %v, 2
+              store i64 %d, @x
+              ret
+            }
+            fn @main() : void {
+            bb0:
+              %t = call i64 @spawn(@worker, 21)
+              call void @join(%t)
+              %v = load i64, @x
+              call void @assert(%v)
+              ret
+            }
+            "#,
+        );
+        assert!(m.failure.is_none(), "failure: {:?}", m.failure);
+        assert_eq!(m.global_value("x"), Some(42));
+    }
+
+    #[test]
+    fn assertion_failure_reported() {
+        let m = run_to_completion(
+            r#"
+            fn @main() : void {
+            bb0:
+              call void @assert(0)
+              ret
+            }
+            "#,
+        );
+        assert!(matches!(m.failure, Some(Failure::Assert { .. })));
+    }
+
+    #[test]
+    fn assume_prunes() {
+        let m = run_to_completion(
+            r#"
+            fn @main() : void {
+            bb0:
+              call void @assume(0)
+              call void @assert(0)
+              ret
+            }
+            "#,
+        );
+        assert!(m.pruned);
+        assert!(m.failure.is_none());
+    }
+
+    #[test]
+    fn arrays_and_geps_work() {
+        let m = run_to_completion(
+            r#"
+            global @arr: [5 x i64] = [10, 20, 30, 40, 50]
+            global @sum: i64 = 0
+            fn @main() : void {
+            entry:
+              %i = alloca i64
+              %acc = alloca i64
+              store i64 0, %i
+              store i64 0, %acc
+              br header
+            header:
+              %iv = load i64, %i
+              %c = cmp lt %iv, 5
+              condbr %c, body, done
+            body:
+              %e = gep [5 x i64], @arr, 0, %iv
+              %v = load i64, %e
+              %a = load i64, %acc
+              %s = add %a, %v
+              store i64 %s, %acc
+              %inc = add %iv, 1
+              store i64 %inc, %i
+              br header
+            done:
+              %r = load i64, %acc
+              store i64 %r, @sum
+              ret
+            }
+            "#,
+        );
+        assert_eq!(m.global_value("sum"), Some(150));
+    }
+
+    #[test]
+    fn malloc_returns_distinct_chunks() {
+        let m = run_to_completion(
+            r#"
+            global @ok: i64 = 0
+            fn @main() : void {
+            bb0:
+              %p = call i64 @malloc(4)
+              %q = call i64 @malloc(4)
+              %c = cmp ne %p, %q
+              %ci = cast %c to i64
+              store i64 %ci, @ok
+              store i64 7, %p
+              store i64 9, %q
+              %v = load i64, %p
+              call void @assert(%v)
+              ret
+            }
+            "#,
+        );
+        assert!(m.failure.is_none());
+        assert_eq!(m.global_value("ok"), Some(1));
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let m = run_to_completion(
+            r#"
+            fn @main() : void {
+            bb0:
+              %v = load i64, null
+              ret
+            }
+            "#,
+        );
+        assert!(matches!(m.failure, Some(Failure::Trap(_))));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let m = run_to_completion(
+            r#"
+            global @z: i64 = 0
+            fn @main() : void {
+            bb0:
+              %z = load i64, @z
+              %d = div 1, %z
+              ret
+            }
+            "#,
+        );
+        assert!(matches!(m.failure, Some(Failure::Trap(_))));
+    }
+
+    #[test]
+    fn stats_count_access_kinds() {
+        let m = run_to_completion(
+            r#"
+            global @x: i64 = 0
+            fn @main() : void {
+            bb0:
+              store i64 1, @x
+              %v = load i64, @x
+              store i64 2, @x seq_cst
+              %w = load i64, @x seq_cst
+              %o = rmw add i64 @x, 1 seq_cst
+              fence seq_cst
+              ret
+            }
+            "#,
+        );
+        assert_eq!(m.stats.plain_stores, 1);
+        assert_eq!(m.stats.plain_loads, 1);
+        assert_eq!(m.stats.atomic_stores, 1);
+        assert_eq!(m.stats.atomic_loads, 1);
+        assert_eq!(m.stats.rmws, 1);
+        assert_eq!(m.stats.fences, 1);
+    }
+
+    #[test]
+    fn barrier_releases_all_participants() {
+        let m = run_to_completion(
+            r#"
+            global @count: i64 = 0
+            fn @worker(%n: i64) : void {
+            bb0:
+              %o = rmw add i64 @count, 1 seq_cst
+              call void @barrier_wait(3)
+              %v = load i64, @count seq_cst
+              %c = cmp eq %v, 3
+              %ci = cast %c to i64
+              call void @assert(%ci)
+              ret
+            }
+            fn @main() : void {
+            bb0:
+              %t1 = call i64 @spawn(@worker, 0)
+              %t2 = call i64 @spawn(@worker, 0)
+              %t3 = call i64 @spawn(@worker, 0)
+              call void @join(%t1)
+              call void @join(%t2)
+              call void @join(%t3)
+              ret
+            }
+            "#,
+        );
+        assert!(m.failure.is_none(), "failure: {:?}", m.failure);
+    }
+}

@@ -1,0 +1,762 @@
+//! Operational memory models: SC, x86-TSO, and a view-based WMM.
+//!
+//! * [`ScMem`] — Lamport sequential consistency: a flat memory, every
+//!   access takes effect immediately.
+//! * [`TsoMem`] — the x86-TSO operational model (Sewell et al., CACM'10):
+//!   per-thread FIFO store buffers with forwarding; fences and LOCK'd
+//!   operations drain the buffer; buffered stores flush nondeterministically.
+//! * [`ViewMem`] — a promise-free, view-based operational model of
+//!   C11-style relaxed/acquire/release/SC accesses (à la Kang et al.'s
+//!   view machine): per-location write histories with timestamps,
+//!   per-thread views, release stores attach views, acquire loads join
+//!   them, SC accesses/fences additionally synchronize through a global SC
+//!   view. This model exhibits the store-buffering, message-passing and
+//!   coherence weak behaviours the paper's bugs depend on; it does not
+//!   exhibit load-buffering (none of the paper's patterns need it).
+
+use atomig_mir::{Ordering, RmwOp};
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+/// A source of nondeterministic decisions (scheduling-independent inner
+/// choices such as which write a relaxed load reads).
+pub trait Chooser {
+    /// Picks one of `n` alternatives (`n >= 1`); must return `< n`.
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// Always takes alternative 0 (reads the oldest eligible / deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct FirstChoice;
+
+impl Chooser for FirstChoice {
+    fn choose(&mut self, _n: usize) -> usize {
+        0
+    }
+}
+
+/// Always takes the last alternative (reads the newest eligible write —
+/// the SC-like choice; used by the deterministic interpreter).
+#[derive(Debug, Clone, Default)]
+pub struct LastChoice;
+
+impl Chooser for LastChoice {
+    fn choose(&mut self, n: usize) -> usize {
+        n - 1
+    }
+}
+
+/// A memory model an executor can run against.
+pub trait MemModel: Clone + Hash + Eq {
+    /// Writes an initial value (program load time; no thread involved).
+    fn init(&mut self, addr: u64, val: i64);
+
+    /// Makes room for `n` threads.
+    fn ensure_threads(&mut self, n: usize);
+
+    /// A load by `tid`.
+    fn load(&mut self, tid: usize, addr: u64, ord: Ordering, ch: &mut dyn Chooser) -> i64;
+
+    /// A store by `tid`.
+    fn store(&mut self, tid: usize, addr: u64, val: i64, ord: Ordering);
+
+    /// An atomic read-modify-write; returns the old value.
+    fn rmw(&mut self, tid: usize, addr: u64, op: RmwOp, operand: i64, ord: Ordering) -> i64;
+
+    /// An atomic compare-exchange; returns the old value (success iff it
+    /// equals `expected`).
+    fn cmpxchg(&mut self, tid: usize, addr: u64, expected: i64, new: i64, ord: Ordering) -> i64;
+
+    /// A stand-alone fence by `tid`.
+    fn fence(&mut self, tid: usize, ord: Ordering);
+
+    /// Number of pending internal steps for `tid` (TSO buffer flushes).
+    fn internal_steps(&self, _tid: usize) -> usize {
+        0
+    }
+
+    /// Performs one pending internal step.
+    fn internal_step(&mut self, _tid: usize) {}
+
+    /// Parent thread spawns child: child inherits the parent's view /
+    /// the parent's buffered stores become visible (pthread_create
+    /// synchronizes).
+    fn on_spawn(&mut self, parent: usize, child: usize);
+
+    /// Thread exits: its effects become globally visible.
+    fn on_exit(&mut self, tid: usize);
+
+    /// `joiner` joins `target` (pthread_join synchronizes).
+    fn on_join(&mut self, joiner: usize, target: usize);
+
+    /// Canonicalizes internal state (drops unreadable history) so that
+    /// state hashing converges. Optional.
+    fn gc(&mut self) {}
+
+    /// The coherent (final) value at `addr`, for post-mortem inspection.
+    fn peek(&self, addr: u64) -> i64;
+}
+
+// ---------------------------------------------------------------------
+// Sequential consistency
+// ---------------------------------------------------------------------
+
+/// Flat, immediately-consistent memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ScMem {
+    mem: BTreeMap<u64, i64>,
+}
+
+impl MemModel for ScMem {
+    fn init(&mut self, addr: u64, val: i64) {
+        self.mem.insert(addr, val);
+    }
+
+    fn ensure_threads(&mut self, _n: usize) {}
+
+    fn load(&mut self, _tid: usize, addr: u64, _ord: Ordering, _ch: &mut dyn Chooser) -> i64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn store(&mut self, _tid: usize, addr: u64, val: i64, _ord: Ordering) {
+        self.mem.insert(addr, val);
+    }
+
+    fn rmw(&mut self, _tid: usize, addr: u64, op: RmwOp, operand: i64, _ord: Ordering) -> i64 {
+        let old = self.mem.get(&addr).copied().unwrap_or(0);
+        self.mem.insert(addr, op.apply(old, operand));
+        old
+    }
+
+    fn cmpxchg(&mut self, _tid: usize, addr: u64, expected: i64, new: i64, _ord: Ordering) -> i64 {
+        let old = self.mem.get(&addr).copied().unwrap_or(0);
+        if old == expected {
+            self.mem.insert(addr, new);
+        }
+        old
+    }
+
+    fn fence(&mut self, _tid: usize, _ord: Ordering) {}
+
+    fn on_spawn(&mut self, _parent: usize, _child: usize) {}
+    fn on_exit(&mut self, _tid: usize) {}
+    fn on_join(&mut self, _joiner: usize, _target: usize) {}
+
+    fn peek(&self, addr: u64) -> i64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86-TSO
+// ---------------------------------------------------------------------
+
+/// The x86-TSO store-buffer machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct TsoMem {
+    mem: BTreeMap<u64, i64>,
+    /// Per-thread FIFO store buffers (oldest first).
+    buffers: Vec<Vec<(u64, i64)>>,
+}
+
+impl TsoMem {
+    fn flush_all(&mut self, tid: usize) {
+        if let Some(buf) = self.buffers.get_mut(tid) {
+            for (a, v) in buf.drain(..) {
+                self.mem.insert(a, v);
+            }
+        }
+    }
+
+    /// Buffered entries of `tid` (diagnostics).
+    pub fn buffered(&self, tid: usize) -> usize {
+        self.buffers.get(tid).map(Vec::len).unwrap_or(0)
+    }
+}
+
+impl MemModel for TsoMem {
+    fn init(&mut self, addr: u64, val: i64) {
+        self.mem.insert(addr, val);
+    }
+
+    fn ensure_threads(&mut self, n: usize) {
+        while self.buffers.len() < n {
+            self.buffers.push(Vec::new());
+        }
+    }
+
+    fn load(&mut self, tid: usize, addr: u64, _ord: Ordering, _ch: &mut dyn Chooser) -> i64 {
+        // Store-to-load forwarding: newest buffered store wins.
+        if let Some(buf) = self.buffers.get(tid) {
+            if let Some((_, v)) = buf.iter().rev().find(|(a, _)| *a == addr) {
+                return *v;
+            }
+        }
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn store(&mut self, tid: usize, addr: u64, val: i64, ord: Ordering) {
+        self.ensure_threads(tid + 1);
+        self.buffers[tid].push((addr, val));
+        if ord == Ordering::SeqCst {
+            // x86 compiles an SC store as MOV; MFENCE — drain the buffer.
+            self.flush_all(tid);
+        }
+    }
+
+    fn rmw(&mut self, tid: usize, addr: u64, op: RmwOp, operand: i64, _ord: Ordering) -> i64 {
+        // LOCK-prefixed: drains the buffer and acts on memory.
+        self.flush_all(tid);
+        let old = self.mem.get(&addr).copied().unwrap_or(0);
+        self.mem.insert(addr, op.apply(old, operand));
+        old
+    }
+
+    fn cmpxchg(&mut self, tid: usize, addr: u64, expected: i64, new: i64, _ord: Ordering) -> i64 {
+        self.flush_all(tid);
+        let old = self.mem.get(&addr).copied().unwrap_or(0);
+        if old == expected {
+            self.mem.insert(addr, new);
+        }
+        old
+    }
+
+    fn fence(&mut self, tid: usize, _ord: Ordering) {
+        self.flush_all(tid);
+    }
+
+    fn internal_steps(&self, tid: usize) -> usize {
+        usize::from(self.buffered(tid) > 0)
+    }
+
+    fn internal_step(&mut self, tid: usize) {
+        if let Some(buf) = self.buffers.get_mut(tid) {
+            if !buf.is_empty() {
+                let (a, v) = buf.remove(0);
+                self.mem.insert(a, v);
+            }
+        }
+    }
+
+    fn on_spawn(&mut self, parent: usize, child: usize) {
+        self.ensure_threads(child + 1);
+        self.flush_all(parent);
+    }
+
+    fn on_exit(&mut self, tid: usize) {
+        self.flush_all(tid);
+    }
+
+    fn on_join(&mut self, _joiner: usize, _target: usize) {}
+
+    fn peek(&self, addr: u64) -> i64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// View-based WMM
+// ---------------------------------------------------------------------
+
+type View = BTreeMap<u64, u64>;
+
+/// How the view machine interprets `SeqCst` *accesses*.
+///
+/// Explicit SC fences always synchronize through the global SC view (they
+/// model Arm's `DMB ISH`); this knob only affects loads/stores/RMWs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ScMode {
+    /// C11-flavoured strong SC: SC accesses join the global SC view in
+    /// both directions. Forbids store buffering among SC accesses.
+    #[default]
+    Strong,
+    /// Arm-flavoured: SC accesses get release/acquire semantics only
+    /// (`LDAR`/`STLR` as compiled from SC atomics), without the global
+    /// total-order coupling. This soundly over-approximates Armv8
+    /// reordering (it also admits some behaviours RCsc forbids, e.g. SB
+    /// between SC accesses), which is the right direction for bug
+    /// hunting: every real reordering bug is exhibited.
+    RaOnly,
+}
+
+fn view_join(dst: &mut View, src: &View) {
+    for (&a, &ts) in src {
+        let e = dst.entry(a).or_insert(0);
+        if ts > *e {
+            *e = ts;
+        }
+    }
+}
+
+/// One write in a location's history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Msg {
+    ts: u64,
+    val: i64,
+    /// View attached by a release-or-stronger store (empty otherwise).
+    view: View,
+    released: bool,
+}
+
+/// The view machine for weak memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ViewMem {
+    /// Per-location write histories, timestamps ascending (`ts 0` = init).
+    hist: BTreeMap<u64, Vec<Msg>>,
+    /// Per-thread views.
+    views: Vec<View>,
+    /// Views of exited threads, kept for `on_join`.
+    exit_views: BTreeMap<usize, View>,
+    /// The global SC view.
+    sc_view: View,
+    /// SC-access interpretation.
+    sc_mode: ScMode,
+}
+
+impl ViewMem {
+    /// An Arm-flavoured machine: SC accesses are release/acquire only,
+    /// explicit fences are full `DMB`-style barriers.
+    pub fn arm() -> ViewMem {
+        ViewMem {
+            sc_mode: ScMode::RaOnly,
+            ..ViewMem::default()
+        }
+    }
+
+    fn sc_access_couples(&self) -> bool {
+        self.sc_mode == ScMode::Strong
+    }
+    fn history(&mut self, addr: u64) -> &mut Vec<Msg> {
+        self.hist.entry(addr).or_insert_with(|| {
+            vec![Msg {
+                ts: 0,
+                val: 0,
+                view: View::new(),
+                released: true,
+            }]
+        })
+    }
+
+    fn view_of(&mut self, tid: usize) -> &mut View {
+        self.ensure_threads(tid + 1);
+        &mut self.views[tid]
+    }
+
+    /// The number of writes a load by `tid` could read at `addr` (used by
+    /// the checker to enumerate read choices).
+    pub fn eligible_count(&mut self, tid: usize, addr: u64, ord: Ordering) -> usize {
+        let mut floor = *self.view_of(tid).get(&addr).unwrap_or(&0);
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            floor = floor.max(*self.sc_view.get(&addr).unwrap_or(&0));
+        }
+        self.history(addr).iter().filter(|m| m.ts >= floor).count()
+    }
+
+    fn do_load(&mut self, tid: usize, addr: u64, ord: Ordering, ch: &mut dyn Chooser) -> i64 {
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            let sc = self.sc_view.clone();
+            view_join(self.view_of(tid), &sc);
+        }
+        let floor = *self.view_of(tid).get(&addr).unwrap_or(&0);
+        let hist = self.history(addr);
+        let eligible: Vec<usize> = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.ts >= floor)
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(!eligible.is_empty(), "view beyond history");
+        let pick = eligible[ch.choose(eligible.len())];
+        let (ts, val, released, mview) = {
+            let m = &hist[pick];
+            (m.ts, m.val, m.released, m.view.clone())
+        };
+        let view = self.view_of(tid);
+        let e = view.entry(addr).or_insert(0);
+        if ts > *e {
+            *e = ts;
+        }
+        if ord.has_acquire() && released {
+            view_join(view, &mview);
+        }
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            let v = self.views[tid].clone();
+            view_join(&mut self.sc_view, &v);
+        }
+        val
+    }
+
+    fn do_store(&mut self, tid: usize, addr: u64, val: i64, ord: Ordering) {
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            let sc = self.sc_view.clone();
+            view_join(self.view_of(tid), &sc);
+        }
+        let ts = self.history(addr).last().expect("init msg").ts + 1;
+        self.view_of(tid).insert(addr, ts);
+        let released = ord.has_release();
+        let view = if released {
+            self.views[tid].clone()
+        } else {
+            View::new()
+        };
+        self.history(addr).push(Msg {
+            ts,
+            val,
+            view,
+            released,
+        });
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            let v = self.views[tid].clone();
+            view_join(&mut self.sc_view, &v);
+        }
+    }
+
+    /// RMW: reads the *latest* write (atomicity) and appends directly
+    /// after it.
+    ///
+    /// Model note: a *failed* CAS also reads the latest message here,
+    /// which is stronger than C11 (where a failed CAS is an ordinary load
+    /// and may read stale). None of the bundled patterns depend on stale
+    /// failed-CAS reads; retry loops simply retry accurately.
+    fn do_rmw<F: FnOnce(i64) -> Option<i64>>(
+        &mut self,
+        tid: usize,
+        addr: u64,
+        ord: Ordering,
+        f: F,
+    ) -> i64 {
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            let sc = self.sc_view.clone();
+            view_join(self.view_of(tid), &sc);
+        }
+        let (old_ts, old, released, mview) = {
+            let m = self.history(addr).last().expect("init msg");
+            (m.ts, m.val, m.released, m.view.clone())
+        };
+        {
+            let view = self.view_of(tid);
+            let e = view.entry(addr).or_insert(0);
+            if old_ts > *e {
+                *e = old_ts;
+            }
+            if ord.has_acquire() && released {
+                view_join(view, &mview);
+            }
+        }
+        if let Some(new) = f(old) {
+            let ts = old_ts + 1;
+            self.view_of(tid).insert(addr, ts);
+            let rel = ord.has_release();
+            let view = if rel {
+                self.views[tid].clone()
+            } else {
+                View::new()
+            };
+            self.history(addr).push(Msg {
+                ts,
+                val: new,
+                view,
+                released: rel,
+            });
+        }
+        if ord == Ordering::SeqCst && self.sc_access_couples() {
+            let v = self.views[tid].clone();
+            view_join(&mut self.sc_view, &v);
+        }
+        old
+    }
+}
+
+impl MemModel for ViewMem {
+    fn init(&mut self, addr: u64, val: i64) {
+        self.hist.insert(
+            addr,
+            vec![Msg {
+                ts: 0,
+                val,
+                view: View::new(),
+                released: true,
+            }],
+        );
+    }
+
+    fn ensure_threads(&mut self, n: usize) {
+        while self.views.len() < n {
+            self.views.push(View::new());
+        }
+    }
+
+    fn load(&mut self, tid: usize, addr: u64, ord: Ordering, ch: &mut dyn Chooser) -> i64 {
+        self.do_load(tid, addr, ord, ch)
+    }
+
+    fn store(&mut self, tid: usize, addr: u64, val: i64, ord: Ordering) {
+        self.do_store(tid, addr, val, ord)
+    }
+
+    fn rmw(&mut self, tid: usize, addr: u64, op: RmwOp, operand: i64, ord: Ordering) -> i64 {
+        self.do_rmw(tid, addr, ord, |old| Some(op.apply(old, operand)))
+    }
+
+    fn cmpxchg(&mut self, tid: usize, addr: u64, expected: i64, new: i64, ord: Ordering) -> i64 {
+        self.do_rmw(
+            tid,
+            addr,
+            ord,
+            |old| if old == expected { Some(new) } else { None },
+        )
+    }
+
+    fn fence(&mut self, tid: usize, ord: Ordering) {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_view.clone();
+            view_join(self.view_of(tid), &sc);
+            let v = self.views[tid].clone();
+            view_join(&mut self.sc_view, &v);
+        }
+        // Plain acquire/release fences never occur in AtoMig output; they
+        // are treated as no-ops here (documented model restriction).
+    }
+
+    fn on_spawn(&mut self, parent: usize, child: usize) {
+        self.ensure_threads(child.max(parent) + 1);
+        let pv = self.views[parent].clone();
+        view_join(&mut self.views[child], &pv);
+    }
+
+    fn on_exit(&mut self, tid: usize) {
+        self.ensure_threads(tid + 1);
+        self.exit_views.insert(tid, self.views[tid].clone());
+    }
+
+    fn on_join(&mut self, joiner: usize, target: usize) {
+        if let Some(tv) = self.exit_views.get(&target).cloned() {
+            view_join(self.view_of(joiner), &tv);
+        }
+    }
+
+    fn gc(&mut self) {
+        // Drop history entries no thread can read any more. Only thread
+        // views matter for the floor: `sc_view` and exit views are joined
+        // *into* thread views (they only ever raise floors), so they can
+        // never re-enable reading an older message.
+        if self.views.is_empty() {
+            return;
+        }
+        let addresses: Vec<u64> = self.hist.keys().copied().collect();
+        for addr in addresses {
+            let floor = self
+                .views
+                .iter()
+                .map(|v| *v.get(&addr).unwrap_or(&0))
+                .min()
+                .unwrap_or(0);
+            if let Some(h) = self.hist.get_mut(&addr) {
+                let keep_from = h
+                    .iter()
+                    .position(|m| m.ts >= floor)
+                    .unwrap_or(h.len() - 1);
+                if keep_from > 0 {
+                    h.drain(..keep_from);
+                }
+            }
+        }
+    }
+
+    fn peek(&self, addr: u64) -> i64 {
+        self.hist
+            .get(&addr)
+            .and_then(|h| h.last())
+            .map(|m| m.val)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc_is_immediately_consistent() {
+        let mut m = ScMem::default();
+        m.store(0, 100, 5, Ordering::NotAtomic);
+        assert_eq!(m.load(1, 100, Ordering::NotAtomic, &mut FirstChoice), 5);
+    }
+
+    #[test]
+    fn tso_buffers_stores_until_flush() {
+        let mut m = TsoMem::default();
+        m.ensure_threads(2);
+        m.store(0, 100, 1, Ordering::NotAtomic);
+        // Thread 1 does not see it yet; thread 0 forwards from its buffer.
+        assert_eq!(m.load(1, 100, Ordering::NotAtomic, &mut FirstChoice), 0);
+        assert_eq!(m.load(0, 100, Ordering::NotAtomic, &mut FirstChoice), 1);
+        assert_eq!(m.internal_steps(0), 1);
+        m.internal_step(0);
+        assert_eq!(m.load(1, 100, Ordering::NotAtomic, &mut FirstChoice), 1);
+        assert_eq!(m.internal_steps(0), 0);
+    }
+
+    #[test]
+    fn tso_preserves_store_order() {
+        let mut m = TsoMem::default();
+        m.ensure_threads(2);
+        m.store(0, 1, 1, Ordering::NotAtomic); // msg
+        m.store(0, 2, 1, Ordering::NotAtomic); // flag
+        m.internal_step(0); // flushes msg FIRST (FIFO)
+        assert_eq!(m.peek(1), 1);
+        assert_eq!(m.peek(2), 0);
+    }
+
+    #[test]
+    fn tso_sc_store_drains_buffer() {
+        let mut m = TsoMem::default();
+        m.ensure_threads(1);
+        m.store(0, 1, 1, Ordering::NotAtomic);
+        m.store(0, 2, 1, Ordering::SeqCst);
+        assert_eq!(m.buffered(0), 0);
+        assert_eq!(m.peek(1), 1);
+        assert_eq!(m.peek(2), 1);
+    }
+
+    #[test]
+    fn view_relaxed_mp_can_read_stale() {
+        // Writer: msg=1 (rlx); flag=1 (rlx). Reader: sees flag=1 but may
+        // still read msg=0 — the WMM message-passing bug.
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(1, 0); // msg
+        m.init(2, 0); // flag
+        m.store(0, 1, 1, Ordering::Relaxed);
+        m.store(0, 2, 1, Ordering::Relaxed);
+        // Reader reads flag=1 (choose the newest).
+        let f = m.load(1, 2, Ordering::Relaxed, &mut LastChoice);
+        assert_eq!(f, 1);
+        // And may still read msg=0 (choose the oldest eligible).
+        let v = m.load(1, 1, Ordering::Relaxed, &mut FirstChoice);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn view_release_acquire_mp_is_safe() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(1, 0);
+        m.init(2, 0);
+        m.store(0, 1, 1, Ordering::Relaxed);
+        m.store(0, 2, 1, Ordering::Release);
+        let f = m.load(1, 2, Ordering::Acquire, &mut LastChoice);
+        assert_eq!(f, 1);
+        // The acquire joined the release view: msg=0 no longer eligible.
+        assert_eq!(m.eligible_count(1, 1, Ordering::Relaxed), 1);
+        let v = m.load(1, 1, Ordering::Relaxed, &mut FirstChoice);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn view_sc_mp_is_safe() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(1, 0);
+        m.init(2, 0);
+        m.store(0, 1, 1, Ordering::NotAtomic);
+        m.store(0, 2, 1, Ordering::SeqCst);
+        let f = m.load(1, 2, Ordering::SeqCst, &mut LastChoice);
+        assert_eq!(f, 1);
+        assert_eq!(m.eligible_count(1, 1, Ordering::NotAtomic), 1);
+    }
+
+    #[test]
+    fn view_coherence_no_going_back() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(1);
+        m.init(5, 0);
+        m.store(0, 5, 1, Ordering::Relaxed);
+        m.store(0, 5, 2, Ordering::Relaxed);
+        // Thread 0 wrote both: it can only read the newest.
+        assert_eq!(m.eligible_count(0, 5, Ordering::Relaxed), 1);
+        assert_eq!(m.load(0, 5, Ordering::Relaxed, &mut FirstChoice), 2);
+    }
+
+    #[test]
+    fn view_rmw_reads_latest() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(7, 10);
+        m.store(0, 7, 20, Ordering::Relaxed);
+        // Thread 1's view is behind, but RMW must still act on ts-max.
+        let old = m.rmw(1, 7, RmwOp::Add, 1, Ordering::SeqCst);
+        assert_eq!(old, 20);
+        assert_eq!(m.peek(7), 21);
+    }
+
+    #[test]
+    fn view_failed_cas_does_not_write() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(1);
+        m.init(7, 5);
+        let old = m.cmpxchg(0, 7, 99, 1, Ordering::SeqCst);
+        assert_eq!(old, 5);
+        assert_eq!(m.peek(7), 5);
+    }
+
+    #[test]
+    fn view_spawn_join_synchronize() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(3, 0);
+        m.store(0, 3, 42, Ordering::Relaxed);
+        m.on_spawn(0, 1);
+        // The child must see the parent's pre-spawn write.
+        assert_eq!(m.eligible_count(1, 3, Ordering::Relaxed), 1);
+        m.store(1, 3, 43, Ordering::Relaxed);
+        m.on_exit(1);
+        m.on_join(0, 1);
+        assert_eq!(m.eligible_count(0, 3, Ordering::Relaxed), 1);
+        assert_eq!(m.load(0, 3, Ordering::Relaxed, &mut FirstChoice), 43);
+    }
+
+    #[test]
+    fn view_gc_drops_dead_history() {
+        let mut m = ViewMem::default();
+        m.ensure_threads(1);
+        m.init(9, 0);
+        for i in 1..=10 {
+            m.store(0, 9, i, Ordering::Relaxed);
+        }
+        assert_eq!(m.hist[&9].len(), 11);
+        m.gc();
+        // Only thread 0 exists and its view is at ts 10.
+        assert_eq!(m.hist[&9].len(), 1);
+        assert_eq!(m.peek(9), 10);
+    }
+
+    #[test]
+    fn view_sb_relaxed_allows_both_zero() {
+        // Store buffering: x=1; r1=y || y=1; r2=x — both reads may be 0.
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(1, 0);
+        m.init(2, 0);
+        m.store(0, 1, 1, Ordering::Relaxed);
+        m.store(1, 2, 1, Ordering::Relaxed);
+        let r1 = m.load(0, 2, Ordering::Relaxed, &mut FirstChoice);
+        let r2 = m.load(1, 1, Ordering::Relaxed, &mut FirstChoice);
+        assert_eq!((r1, r2), (0, 0));
+    }
+
+    #[test]
+    fn view_sb_sc_forbids_both_zero() {
+        // With SC accesses, at least one read sees the other store.
+        let mut m = ViewMem::default();
+        m.ensure_threads(2);
+        m.init(1, 0);
+        m.init(2, 0);
+        m.store(0, 1, 1, Ordering::SeqCst);
+        m.store(1, 2, 1, Ordering::SeqCst);
+        // Whatever order: both loads are SC and join sc_view, which now
+        // contains both stores.
+        assert_eq!(m.eligible_count(0, 2, Ordering::SeqCst), 1);
+        assert_eq!(m.eligible_count(1, 1, Ordering::SeqCst), 1);
+    }
+}

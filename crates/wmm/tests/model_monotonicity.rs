@@ -1,0 +1,130 @@
+//! The memory models form a behaviour hierarchy: every SC execution is a
+//! TSO execution, every TSO execution is a WMM execution, and the
+//! Arm-flavoured model only weakens the strong-SC one. Therefore the set
+//! of violated assertions must grow monotonically along that chain —
+//! checked here on randomly generated two-thread programs.
+
+use atomig_wmm::{Checker, ModelKind};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+struct Op {
+    is_store: bool,
+    var: u8,     // 0 = @x, 1 = @y
+    ord: u8,     // 0 plain, 1 rel/acq, 2 seq_cst
+    value: i64,  // stored value (1..3)
+}
+
+fn ord_str(o: u8, is_store: bool) -> &'static str {
+    match (o, is_store) {
+        (1, true) => " rel",
+        (1, false) => " acq",
+        (2, _) => " seq_cst",
+        _ => "",
+    }
+}
+
+/// Renders a thread body; loads accumulate into a per-thread result
+/// global so the assertion can observe them.
+fn render_thread(name: &str, ops: &[Op], result_global: &str) -> String {
+    let mut body = String::new();
+    let mut loads = 0;
+    let mut acc: Vec<String> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let var = if op.var == 0 { "@x" } else { "@y" };
+        if op.is_store {
+            let _ = writeln!(
+                body,
+                "  store i32 {}, {var}{}",
+                op.value,
+                ord_str(op.ord, true)
+            );
+        } else {
+            let _ = writeln!(
+                body,
+                "  %l{i} = load i32, {var}{}",
+                ord_str(op.ord, false)
+            );
+            acc.push(format!("%l{i}"));
+            loads += 1;
+        }
+    }
+    // result = sum of loads * 10^k (base-10 packing, values < 10).
+    if loads > 0 {
+        let mut expr_prev = acc[0].clone();
+        for (k, l) in acc.iter().enumerate().skip(1) {
+            let _ = writeln!(body, "  %m{k} = mul {expr_prev}, 10");
+            let _ = writeln!(body, "  %s{k} = add %m{k}, {l}");
+            expr_prev = format!("%s{k}");
+        }
+        let _ = writeln!(body, "  store i32 {expr_prev}, {result_global}");
+    }
+    format!("fn @{name}(%a: i64) : void {{\nbb0:\n{body}  ret\n}}\n")
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0u8..2, 0u8..3, 1i64..4).prop_map(|(is_store, var, ord, value)| Op {
+            is_store,
+            var,
+            ord,
+            value,
+        }),
+        1..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn violations_grow_with_model_weakness(
+        t1 in arb_ops(),
+        t2 in arb_ops(),
+        limit in 0i32..40,
+    ) {
+        let mut src = String::from(
+            "global @x: i32 = 0\nglobal @y: i32 = 0\nglobal @r1: i32 = 0\nglobal @r2: i32 = 0\n",
+        );
+        src.push_str(&render_thread("w1", &t1, "@r1"));
+        src.push_str(&render_thread("w2", &t2, "@r2"));
+        // The assertion: the packed observations stay under a random
+        // limit — arbitrary, so some programs violate it even under SC.
+        src.push_str(&format!(
+            r#"
+fn @main() : void {{
+bb0:
+  %a = call i64 @spawn(@w1, 0)
+  %b = call i64 @spawn(@w2, 0)
+  call void @join(%a)
+  call void @join(%b)
+  %v1 = load i32, @r1
+  %v2 = load i32, @r2
+  %s = add %v1, %v2
+  %c = cmp le %s, {limit}
+  %ci = cast %c to i64
+  call void @assert(%ci)
+  ret
+}}
+"#
+        ));
+        let m = atomig_mir::parse_module(&src).expect("generated litmus parses");
+        atomig_mir::verify_module(&m).expect("verifies");
+
+        let violated = |model: ModelKind| {
+            let v = Checker::new(model).check(&m, "main");
+            prop_assert!(!v.truncated, "{model} truncated");
+            Ok(v.violation.is_some())
+        };
+        let sc = violated(ModelKind::Sc)?;
+        let tso = violated(ModelKind::Tso)?;
+        let wmm = violated(ModelKind::Wmm)?;
+        let arm = violated(ModelKind::Arm)?;
+        // Monotonicity: a violation under a stronger model must persist
+        // under every weaker one.
+        prop_assert!(!sc || tso, "violated under SC but not TSO");
+        prop_assert!(!tso || wmm, "violated under TSO but not WMM");
+        prop_assert!(!wmm || arm, "violated under WMM(strong) but not ARM");
+    }
+}

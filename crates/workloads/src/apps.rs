@@ -1,0 +1,453 @@
+//! Workload kernels standing in for the five large applications of
+//! Tables 3–5 (MariaDB, PostgreSQL, LevelDB, Memcached, SQLite).
+//!
+//! Each kernel reproduces the *performance-relevant* structure of its
+//! application's hot path — the ratio of thread-synchronization accesses
+//! to shared plain accesses to thread-local compute — driven by a
+//! workload mimicking the paper's benchmark driver (mtr, pgbench,
+//! db_bench, memtier, speedtest). The Table 5 shape this encodes:
+//! Naïve hurts most where shared plain accesses dominate (SQLite 2.49,
+//! LevelDB 1.66) and least where local work dominates (Memcached 1.01),
+//! while AtoMig touches only the synchronization accesses (1.00–1.04
+//! everywhere).
+
+/// Application names in Table 3/5 order.
+pub const APPS: [&str; 5] = [
+    "mariadb",
+    "postgresql",
+    "leveldb",
+    "memcached",
+    "sqlite",
+];
+
+/// Returns the MiniC perf program for an application kernel.
+///
+/// # Panics
+///
+/// Panics on an unknown application name.
+pub fn app_perf(name: &str, scale: u32) -> String {
+    match name {
+        "mariadb" => mariadb_like(scale),
+        "postgresql" => postgres_like(scale),
+        "leveldb" => leveldb_like(scale),
+        "memcached" => memcached_like(scale),
+        "sqlite" => sqlite_like(scale),
+        other => panic!("unknown application `{other}`"),
+    }
+}
+
+/// MariaDB-like: transactions under a table lock plus heavy local query
+/// evaluation; also exercises the lf-hash pattern in its dictionary.
+pub fn mariadb_like(txns: u32) -> String {
+    format!(
+        r#"
+    int table_lock;
+    long rows[64];
+    long dict_state; long dict_key;
+    long committed;
+
+    void lock_table() {{
+        while (cmpxchg_explicit(&table_lock, 0, 1, relaxed) != 0) {{ pause(); }}
+    }}
+    void unlock_table() {{ table_lock = 0; }}
+
+    long dict_lookup() {{
+        long st; long k;
+        do {{
+            st = dict_state;
+            k = dict_key;
+        }} while (st != dict_state);
+        return k;
+    }}
+
+    long evaluate(long seed) {{
+        long acc = seed;
+        for (int i = 0; i < 8; i++) {{
+            acc = acc * 31 + 7;
+            acc = acc % 100003;
+        }}
+        return acc;
+    }}
+
+    void session(long seed) {{
+        long k = 0;
+        for (long t = 0; t < {txns}; t++) {{
+            long q = evaluate(seed * 131 + t);
+            if (t % 16 == 0) {{ k = dict_lookup(); }}
+            lock_table();
+            long idx = (q + k) % 56;
+            long sum = rows[idx] + rows[idx + 1] + rows[idx + 2]
+                + rows[idx + 3] + rows[idx + 4] + rows[idx + 5];
+            rows[idx] = sum % 509 + q % 17;
+            rows[idx + 1] = rows[idx + 1] + 1;
+            unlock_table();
+            faa(&committed, 1);
+        }}
+    }}
+
+    int main() {{
+        dict_state = 0;
+        dict_key = 42;
+        long t1 = spawn(session, 1);
+        long t2 = spawn(session, 2);
+        join(t1);
+        join(t2);
+        assert(committed == 2 * {txns});
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// PostgreSQL-like: pgbench-style transactions over a shared buffer pool
+/// with per-buffer spinlocks and moderate executor-local work.
+pub fn postgres_like(txns: u32) -> String {
+    format!(
+        r#"
+    int buf_lock[8];
+    long buf_page[8][12];
+    long wal_pos;
+    long done;
+
+    void pin(int b) {{
+        while (cmpxchg_explicit(&buf_lock[b], 0, 1, relaxed) != 0) {{ pause(); }}
+    }}
+    void unpin(int b) {{ buf_lock[b] = 0; }}
+
+    long plan(long seed) {{
+        long acc = seed;
+        for (int i = 0; i < 12; i++) acc = (acc * 131 + 7) % 99991;
+        return acc;
+    }}
+
+    void backend(long seed) {{
+        for (long t = 0; t < {txns}; t++) {{
+            long q = plan(seed + t);
+            int b = (int)(q % 8);
+            pin(b);
+            long s = buf_page[b][0] + buf_page[b][1] + buf_page[b][2]
+                + buf_page[b][3] + buf_page[b][4] + buf_page[b][5]
+                + buf_page[b][6] + buf_page[b][7] + buf_page[b][8]
+                + buf_page[b][9] + buf_page[b][10] + buf_page[b][11];
+            buf_page[b][(int)(q % 12)] = s % 1000 + 1;
+            unpin(b);
+            faa(&wal_pos, 1);
+            faa(&done, 1);
+        }}
+    }}
+
+    int main() {{
+        long t1 = spawn(backend, 10);
+        long t2 = spawn(backend, 20);
+        join(t1);
+        join(t2);
+        assert(done == 2 * {txns});
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// LevelDB-like: db_bench-style reads. The memtable index walk (the part
+/// AtoMig marks) is a few hops; the dominant work per read is scanning
+/// the value block out of the shared block cache (plain shared loads the
+/// Naïve port converts) plus local decode work — the reason Naïve costs
+/// 1.66x in Table 5 while AtoMig stays near 1.0.
+pub fn leveldb_like(ops: u32) -> String {
+    format!(
+        r#"
+    struct SkipNode {{ long key; long val; long next; }};
+    long memtable_head;
+    long block_cache[256];
+    int db_lock;
+    long reads_done;
+
+    void db_mutex_lock() {{
+        while (cmpxchg_explicit(&db_lock, 0, 1, relaxed) != 0) {{ pause(); }}
+    }}
+    void db_mutex_unlock() {{ db_lock = 0; }}
+
+    long index_lookup(long key) {{
+        struct SkipNode *n = (struct SkipNode*)memtable_head;
+        while ((long)n != 0) {{
+            if (n->key == key) return n->val;
+            if (n->key > key) return 0;
+            n = (struct SkipNode*)n->next;
+        }}
+        return 0;
+    }}
+
+    long read_block(long handle) {{
+        long base = (handle % 7) * 32;
+        long sum = 0;
+        for (int i = 0; i < 32; i = i + 8) {{
+            long w = block_cache[base + i] + block_cache[base + i + 1]
+                + block_cache[base + i + 2] + block_cache[base + i + 3]
+                + block_cache[base + i + 4] + block_cache[base + i + 5]
+                + block_cache[base + i + 6] + block_cache[base + i + 7];
+            sum = sum + (w * 31 + i) % 251;
+        }}
+        return sum;
+    }}
+
+    void insert_sorted(long key, long val) {{
+        struct SkipNode *fresh = (struct SkipNode*)malloc(sizeof(struct SkipNode));
+        fresh->key = key;
+        fresh->val = val;
+        db_mutex_lock();
+        long prev = 0;
+        long cur = memtable_head;
+        while (cur != 0 && ((struct SkipNode*)cur)->key < key) {{
+            prev = cur;
+            cur = ((struct SkipNode*)cur)->next;
+        }}
+        fresh->next = cur;
+        if (prev == 0) {{
+            memtable_head = (long)fresh;
+        }} else {{
+            ((struct SkipNode*)prev)->next = (long)fresh;
+        }}
+        db_mutex_unlock();
+    }}
+
+    void client(long seed) {{
+        long found = 0;
+        for (long i = 0; i < {ops}; i++) {{
+            long key = (seed * 37 + i * 13) % 6 + 1;
+            if (i % 16 == 0) {{
+                insert_sorted(key, key * 100);
+            }} else {{
+                long handle = index_lookup(key);
+                found = found + read_block(handle + key);
+            }}
+        }}
+        faa(&reads_done, found % 1000);
+    }}
+
+    int main() {{
+        for (int i = 0; i < 256; i++) block_cache[i] = (i * 97 + 13) % 509;
+        insert_sorted(3, 300);
+        long t1 = spawn(client, 3);
+        long t2 = spawn(client, 5);
+        join(t1);
+        join(t2);
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// Memcached-like: memtier-style get/set where request parsing and item
+/// copying dominate (thread-local), with short per-bucket locked
+/// sections — the reason Naïve costs almost nothing here (Table 5: 1.01).
+pub fn memcached_like(requests: u32) -> String {
+    format!(
+        r#"
+    int bucket_lock[4];
+    long bucket_key[4][4];
+    long bucket_val[4][4];
+    long served;
+
+    void block(int b) {{
+        while (cmpxchg_explicit(&bucket_lock[b], 0, 1, relaxed) != 0) {{ pause(); }}
+    }}
+    void bunlock(int b) {{ bucket_lock[b] = 0; }}
+
+    long parse_request(long seed) {{
+        long h = seed;
+        for (int i = 0; i < 60; i++) {{
+            h = h * 33 + i;
+            h = h % 1000003;
+        }}
+        return h;
+    }}
+
+    void build_response(long val) {{
+        long buf[16];
+        for (int i = 0; i < 16; i++) buf[i] = val + i;
+        long check = 0;
+        for (int i = 0; i < 16; i++) check = check + buf[i];
+        if (check == -1) print(check);
+    }}
+
+    void conn(long seed) {{
+        for (long r = 0; r < {requests}; r++) {{
+            long h = parse_request(seed * 7 + r);
+            int b = (int)(h % 4);
+            int slot = (int)(h % 4);
+            if (r % 3 == 0) {{
+                block(b);
+                bucket_key[b][slot] = h;
+                bucket_val[b][slot] = h * 2;
+                bunlock(b);
+            }} else {{
+                block(b);
+                long v = 0;
+                if (bucket_key[b][slot] == h) v = bucket_val[b][slot];
+                bunlock(b);
+                build_response(v);
+            }}
+            faa(&served, 1);
+        }}
+    }}
+
+    int main() {{
+        long t1 = spawn(conn, 11);
+        long t2 = spawn(conn, 23);
+        join(t1);
+        join(t2);
+        assert(served == 2 * {requests});
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// SQLite-like: a serialized B-tree walker whose time is dominated by
+/// shared page accesses (why Naïve costs 2.49x in Table 5); one global
+/// lock serializes writers.
+pub fn sqlite_like(queries: u32) -> String {
+    format!(
+        r#"
+    long btree[128];
+    int db_mutex;
+    long results;
+
+    void sql_lock() {{
+        while (cmpxchg_explicit(&db_mutex, 0, 1, relaxed) != 0) {{ pause(); }}
+    }}
+    void sql_unlock() {{ db_mutex = 0; }}
+
+    long btree_search(long key) {{
+        long idx = 0;
+        long acc = 0;
+        for (int level = 0; level < 4; level++) {{
+            long page = idx * 8 % 96;
+            acc = acc + btree[page] + btree[page + 1] + btree[page + 2]
+                + btree[page + 3] + btree[page + 4] + btree[page + 5]
+                + btree[page + 6] + btree[page + 7];
+            idx = (acc + key) % 12;
+        }}
+        return acc;
+    }}
+
+    void connection(long seed) {{
+        long acc = 0;
+        for (long q = 0; q < {queries}; q++) {{
+            long key = (seed * 61 + q * 17) % 200;
+            acc = acc + btree_search(key);
+            if (q % 16 == 0) {{
+                sql_lock();
+                btree[(int)(key % 32) + 96] = key;
+                sql_unlock();
+            }}
+        }}
+        faa(&results, acc % 1000);
+    }}
+
+    int main() {{
+        for (int i = 1; i < 128; i++) btree[i] = (i * 73) % 199;
+        long t1 = spawn(connection, 9);
+        long t2 = spawn(connection, 15);
+        join(t1);
+        join(t2);
+        return 0;
+    }}
+    "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_atomig, compile_baseline, compile_naive, run_cost};
+
+    fn slowdowns(name: &str, scale: u32) -> (f64, f64) {
+        let src = app_perf(name, scale);
+        let (_, base) = run_cost(&compile_baseline(&src, name), name);
+        let (_, naive) = run_cost(&compile_naive(&src, name).0, name);
+        let (_, atomig) = run_cost(&compile_atomig(&src, name).0, name);
+        (naive as f64 / base as f64, atomig as f64 / base as f64)
+    }
+
+    #[test]
+    fn all_apps_run_in_all_variants() {
+        for name in APPS {
+            let (naive, atomig) = slowdowns(name, 30);
+            // Small scheduling perturbations (quantum boundaries shifting
+            // with the instruction mix) can make a variant a few percent
+            // faster; anything below 0.9 would indicate a real bug.
+            assert!(naive >= 0.9, "{name}: naive {naive}");
+            assert!(atomig >= 0.9, "{name}: atomig {atomig}");
+        }
+    }
+
+    /// Table 5 shape for the large applications: AtoMig stays within a
+    /// few percent everywhere; Naïve is worst on SQLite and LevelDB,
+    /// mildest on Memcached.
+    #[test]
+    fn table5_large_app_shape() {
+        let (n_maria, a_maria) = slowdowns("mariadb", 40);
+        let (n_pg, a_pg) = slowdowns("postgresql", 40);
+        let (n_lvl, a_lvl) = slowdowns("leveldb", 40);
+        let (n_mc, a_mc) = slowdowns("memcached", 40);
+        let (n_sql, a_sql) = slowdowns("sqlite", 40);
+        for (name, a) in [
+            ("mariadb", a_maria),
+            ("postgresql", a_pg),
+            ("leveldb", a_lvl),
+            ("memcached", a_mc),
+            ("sqlite", a_sql),
+        ] {
+            assert!(a < 1.15, "{name}: atomig {a}");
+        }
+        // Naïve ordering: sqlite and leveldb suffer most; memcached least.
+        assert!(n_sql > 1.5, "sqlite naive {n_sql}");
+        assert!(n_lvl > 1.3, "leveldb naive {n_lvl}");
+        assert!(n_mc < 1.15, "memcached naive {n_mc}");
+        assert!(n_sql > n_maria && n_sql > n_mc, "{n_sql} {n_maria} {n_mc}");
+        assert!(n_lvl > n_mc);
+        // AtoMig beats naive on every app.
+        for (name, (n, a)) in [
+            ("mariadb", (n_maria, a_maria)),
+            ("postgresql", (n_pg, a_pg)),
+            ("leveldb", (n_lvl, a_lvl)),
+            ("memcached", (n_mc, a_mc)),
+            ("sqlite", (n_sql, a_sql)),
+        ] {
+            assert!(a <= n + 0.01, "{name}: atomig {a} vs naive {n}");
+        }
+    }
+
+    /// Table 4 shape: after the AtoMig port of the memcached kernel, a
+    /// single-digit percentage of dynamic accesses are atomic.
+    #[test]
+    fn table4_memcached_dynamic_counts() {
+        let src = memcached_like(60);
+        let base = compile_baseline(&src, "memcached");
+        let (ported, _) = compile_atomig(&src, "memcached");
+        let rb = atomig_wmm::run_default(&base);
+        let rp = atomig_wmm::run_default(&ported);
+        assert!(rb.ok() && rp.ok());
+        // Original: no atomic loads/stores at all (only the lock RMWs).
+        assert_eq!(rb.stats.atomic_loads, 0);
+        assert_eq!(rb.stats.atomic_stores, 0);
+        // Ported: some accesses became atomic, but far fewer than plain.
+        assert!(rp.stats.atomic_stores > 0);
+        let total_loads = rp.stats.plain_loads + rp.stats.stack_ops + rp.stats.atomic_loads;
+        assert!(
+            rp.stats.atomic_loads * 5 < total_loads,
+            "atomics {} of {total_loads}",
+            rp.stats.atomic_loads
+        );
+    }
+
+    /// The locks in every app kernel are detected as spinloops.
+    #[test]
+    fn app_locks_are_detected() {
+        for name in APPS {
+            let (_, report) = compile_atomig(&app_perf(name, 10), name);
+            assert!(report.spinloops >= 1, "{name}: {report}");
+        }
+    }
+}

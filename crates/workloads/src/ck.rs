@@ -1,0 +1,573 @@
+//! MiniC ports of the Concurrency Kit benchmarks (§4.1, §4.3).
+//!
+//! Each benchmark provides:
+//!
+//! * `*_mc()` — a small client with assertions, sized for exhaustive model
+//!   checking (Table 2),
+//! * `*_perf(iters)` — a deterministic multi-threaded workload for the
+//!   cost-model interpreter (Table 5),
+//! * `*_expert_perf(iters)` — the upstream expert Arm port, which uses
+//!   **explicit** fences (the reason AtoMig's implicit-barrier output beats
+//!   it in Table 5).
+//!
+//! The TSO sources mirror upstream ck's annotation style: `ck_ring` marks
+//! its cursors `volatile` (ck_pr casts), `ck_spinlock_cas` uses relaxed
+//! atomic builtins, `ck_spinlock_mcs` spins on a *plain* per-node flag
+//! (only the tail exchange is a builtin), and `ck_sequence` is entirely
+//! plain code — exactly the spread that makes the Table 2 stages differ.
+
+/// The ck_ring SPSC ring buffer, TSO flavour (volatile cursors).
+pub fn ring_tso() -> &'static str {
+    r#"
+    volatile int ring_head;
+    volatile int ring_tail;
+    int ring_buf[4];
+
+    void ring_enqueue(int v) {
+        while (ring_tail - ring_head >= 4) { pause(); }
+        ring_buf[ring_tail % 4] = v;
+        ring_tail = ring_tail + 1;
+    }
+
+    int ring_dequeue() {
+        while (ring_head == ring_tail) { pause(); }
+        int v = ring_buf[ring_head % 4];
+        ring_head = ring_head + 1;
+        return v;
+    }
+    "#
+}
+
+/// Model-checking client: producer enqueues 1..=2, consumer asserts FIFO
+/// order and value integrity.
+pub fn ring_mc() -> String {
+    format!(
+        r#"{}
+    void producer(long n) {{
+        ring_enqueue(1);
+        ring_enqueue(2);
+    }}
+    int main() {{
+        long t = spawn(producer, 0);
+        int a = ring_dequeue();
+        assert(a == 1);
+        int b = ring_dequeue();
+        assert(b == 2);
+        join(t);
+        return 0;
+    }}
+    "#,
+        ring_tso()
+    )
+}
+
+/// Performance client: one producer, one consumer, `iters` messages.
+pub fn ring_perf(iters: u32) -> String {
+    format!(
+        r#"{}
+    void producer(long n) {{
+        for (int i = 1; i <= {iters}; i++) ring_enqueue(i);
+    }}
+    int main() {{
+        long t = spawn(producer, 0);
+        long sum = 0;
+        for (int i = 1; i <= {iters}; i++) sum = sum + ring_dequeue();
+        join(t);
+        assert(sum == (long){iters} * ({iters} + 1) / 2);
+        return 0;
+    }}
+    "#,
+        ring_tso()
+    )
+}
+
+/// The expert Arm port of ck_ring: plain cursors with explicit fences
+/// (upstream ck uses `ck_pr_fence_store`/`ck_pr_fence_load`).
+pub fn ring_expert_perf(iters: u32) -> String {
+    format!(
+        r#"
+    int ring_head;
+    int ring_tail;
+    int ring_buf[4];
+
+    void ring_enqueue(int v) {{
+        while (ring_tail - ring_head >= 4) {{ pause(); }}
+        ring_buf[ring_tail % 4] = v;
+        fence_explicit(release);
+        ring_tail = ring_tail + 1;
+    }}
+
+    int ring_dequeue() {{
+        while (ring_head == ring_tail) {{ pause(); }}
+        fence_explicit(acquire);
+        int v = ring_buf[ring_head % 4];
+        fence_explicit(release);
+        ring_head = ring_head + 1;
+        return v;
+    }}
+
+    void producer(long n) {{
+        for (int i = 1; i <= {iters}; i++) ring_enqueue(i);
+    }}
+    int main() {{
+        long t = spawn(producer, 0);
+        long sum = 0;
+        for (int i = 1; i <= {iters}; i++) sum = sum + ring_dequeue();
+        join(t);
+        assert(sum == (long){iters} * ({iters} + 1) / 2);
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// The ck_spinlock_cas TSO flavour: relaxed atomic builtins (upstream
+/// ck_pr_cas / ck_pr_store on x86 compile to plain instructions).
+pub fn spinlock_cas_tso() -> &'static str {
+    r#"
+    int cas_lock_word;
+    long cas_counter;
+
+    void cas_lock() {
+        while (cmpxchg_explicit(&cas_lock_word, 0, 1, relaxed) != 0) { pause(); }
+    }
+
+    void cas_unlock() {
+        atomic_store_explicit(&cas_lock_word, 0, relaxed);
+    }
+    "#
+}
+
+/// Model-checking client: two lockers increment a shared counter.
+pub fn spinlock_cas_mc() -> String {
+    format!(
+        r#"{}
+    void locker(long n) {{
+        cas_lock();
+        cas_counter = cas_counter + 1;
+        cas_unlock();
+    }}
+    int main() {{
+        long t = spawn(locker, 0);
+        cas_lock();
+        cas_counter = cas_counter + 1;
+        cas_unlock();
+        join(t);
+        assert(cas_counter == 2);
+        return 0;
+    }}
+    "#,
+        spinlock_cas_tso()
+    )
+}
+
+/// Performance client: `threads` workers, `iters` critical sections each.
+pub fn spinlock_cas_perf(threads: u32, iters: u32) -> String {
+    format!(
+        r#"{}
+    void locker(long n) {{
+        for (int i = 0; i < {iters}; i++) {{
+            cas_lock();
+            cas_counter = cas_counter + 1;
+            cas_unlock();
+        }}
+    }}
+    int main() {{
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(locker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        assert(cas_counter == (long){threads} * {iters});
+        return 0;
+    }}
+    "#,
+        spinlock_cas_tso()
+    )
+}
+
+/// Expert Arm port of the CAS lock: acquire CAS, explicit release fence
+/// before a plain unlock store (upstream `ck_spinlock_cas` Arm barriers).
+pub fn spinlock_cas_expert_perf(threads: u32, iters: u32) -> String {
+    format!(
+        r#"
+    int cas_lock_word;
+    long cas_counter;
+
+    void cas_lock() {{
+        while (cmpxchg_explicit(&cas_lock_word, 0, 1, acquire) != 0) {{ pause(); }}
+        fence_explicit(acquire);
+    }}
+
+    void cas_unlock() {{
+        fence_explicit(release);
+        atomic_store_explicit(&cas_lock_word, 0, relaxed);
+    }}
+
+    void locker(long n) {{
+        for (int i = 0; i < {iters}; i++) {{
+            cas_lock();
+            cas_counter = cas_counter + 1;
+            cas_unlock();
+        }}
+    }}
+    int main() {{
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(locker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        assert(cas_counter == (long){threads} * {iters});
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// The ck_spinlock_mcs TSO flavour: the tail swap is a builtin (it must
+/// be atomic even on x86) but the per-node handoff is plain code.
+pub fn spinlock_mcs_tso() -> &'static str {
+    r#"
+    struct McsNode { int locked; long next; };
+    long mcs_tail;
+    long mcs_counter;
+
+    void mcs_lock(struct McsNode *me) {
+        me->locked = 0;
+        me->next = 0;
+        long prev = xchg(&mcs_tail, (long)me);
+        if (prev != 0) {
+            struct McsNode *p = (struct McsNode*)prev;
+            p->next = (long)me;
+            while (me->locked == 0) { pause(); }
+        }
+    }
+
+    void mcs_unlock(struct McsNode *me) {
+        if (me->next == 0) {
+            if (cmpxchg(&mcs_tail, (long)me, 0) == (long)me) return;
+            while (me->next == 0) { pause(); }
+        }
+        struct McsNode *s = (struct McsNode*)me->next;
+        s->locked = 1;
+    }
+    "#
+}
+
+/// Model-checking client for the MCS lock.
+pub fn spinlock_mcs_mc() -> String {
+    format!(
+        r#"{}
+    void locker(long n) {{
+        struct McsNode *me = (struct McsNode*)malloc(sizeof(struct McsNode));
+        mcs_lock(me);
+        mcs_counter = mcs_counter + 1;
+        mcs_unlock(me);
+    }}
+    int main() {{
+        long t = spawn(locker, 0);
+        struct McsNode *me = (struct McsNode*)malloc(sizeof(struct McsNode));
+        mcs_lock(me);
+        mcs_counter = mcs_counter + 1;
+        mcs_unlock(me);
+        join(t);
+        assert(mcs_counter == 2);
+        return 0;
+    }}
+    "#,
+        spinlock_mcs_tso()
+    )
+}
+
+/// Performance client for the MCS lock.
+pub fn spinlock_mcs_perf(threads: u32, iters: u32) -> String {
+    format!(
+        r#"{}
+    void locker(long n) {{
+        struct McsNode *me = (struct McsNode*)malloc(sizeof(struct McsNode));
+        for (int i = 0; i < {iters}; i++) {{
+            mcs_lock(me);
+            mcs_counter = mcs_counter + 1;
+            mcs_unlock(me);
+        }}
+    }}
+    int main() {{
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(locker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        assert(mcs_counter == (long){threads} * {iters});
+        return 0;
+    }}
+    "#,
+        spinlock_mcs_tso()
+    )
+}
+
+/// Expert Arm port of the MCS lock (explicit fences on the handoff).
+pub fn spinlock_mcs_expert_perf(threads: u32, iters: u32) -> String {
+    format!(
+        r#"
+    struct McsNode {{ int locked; long next; }};
+    long mcs_tail;
+    long mcs_counter;
+
+    void mcs_lock(struct McsNode *me) {{
+        me->locked = 0;
+        me->next = 0;
+        long prev = xchg(&mcs_tail, (long)me);
+        if (prev != 0) {{
+            struct McsNode *p = (struct McsNode*)prev;
+            fence_explicit(release);
+            p->next = (long)me;
+            while (me->locked == 0) {{ pause(); }}
+            fence_explicit(acquire);
+        }}
+    }}
+
+    void mcs_unlock(struct McsNode *me) {{
+        if (me->next == 0) {{
+            if (cmpxchg(&mcs_tail, (long)me, 0) == (long)me) return;
+            while (me->next == 0) {{ pause(); }}
+        }}
+        fence_explicit(release);
+        struct McsNode *s = (struct McsNode*)me->next;
+        s->locked = 1;
+    }}
+
+    void locker(long n) {{
+        struct McsNode *me = (struct McsNode*)malloc(sizeof(struct McsNode));
+        for (int i = 0; i < {iters}; i++) {{
+            mcs_lock(me);
+            mcs_counter = mcs_counter + 1;
+            mcs_unlock(me);
+        }}
+    }}
+    int main() {{
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(locker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        assert(mcs_counter == (long){threads} * {iters});
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// The ck_sequence (seqlock) TSO flavour: entirely plain code.
+pub fn sequence_tso() -> &'static str {
+    r#"
+    int seq_count;
+    long seq_val1;
+    long seq_val2;
+
+    void seq_write(long v) {
+        seq_count = seq_count + 1;
+        seq_val1 = v;
+        seq_val2 = v;
+        seq_count = seq_count + 1;
+    }
+    "#
+}
+
+/// Model-checking client: a consistent snapshot must belong to a single
+/// writer generation (value == generation). Kept to one writer round and
+/// one data word read in the loop so exhaustive checking stays small.
+pub fn sequence_mc() -> String {
+    format!(
+        r#"{}
+    void writer(long n) {{
+        seq_write(1);
+    }}
+    int main() {{
+        long t = spawn(writer, 0);
+        long a;
+        int s1; int s2;
+        do {{
+            s1 = seq_count;
+            a = seq_val1;
+            s2 = seq_count;
+        }} while (s1 % 2 != 0 || s1 != s2);
+        assert(a == s1 / 2);
+        join(t);
+        return 0;
+    }}
+    "#,
+        sequence_tso()
+    )
+}
+
+/// Performance client: one writer, one reader, `iters` rounds.
+pub fn sequence_perf(iters: u32) -> String {
+    format!(
+        r#"{}
+    void writer(long n) {{
+        for (long i = 1; i <= {iters}; i++) seq_write(i);
+    }}
+    int main() {{
+        long t = spawn(writer, 0);
+        long a; long b;
+        int s1; int s2;
+        long checks = 0;
+        for (int r = 0; r < {iters}; r++) {{
+            do {{
+                s1 = seq_count;
+                a = seq_val1;
+                b = seq_val2;
+                s2 = seq_count;
+            }} while (s1 % 2 != 0 || s1 != s2);
+            assert(a == b);
+            checks = checks + 1;
+        }}
+        join(t);
+        assert(checks == {iters});
+        return 0;
+    }}
+    "#,
+        sequence_tso()
+    )
+}
+
+/// Expert Arm port of the seqlock (explicit fences, as upstream).
+pub fn sequence_expert_perf(iters: u32) -> String {
+    format!(
+        r#"
+    int seq_count;
+    long seq_val1;
+    long seq_val2;
+
+    void seq_write(long v) {{
+        seq_count = seq_count + 1;
+        fence_explicit(release);
+        seq_val1 = v;
+        seq_val2 = v;
+        fence_explicit(release);
+        seq_count = seq_count + 1;
+    }}
+
+    void writer(long n) {{
+        for (long i = 1; i <= {iters}; i++) seq_write(i);
+    }}
+    int main() {{
+        long t = spawn(writer, 0);
+        long a; long b;
+        int s1; int s2;
+        long checks = 0;
+        for (int r = 0; r < {iters}; r++) {{
+            do {{
+                s1 = seq_count;
+                fence_explicit(acquire);
+                a = seq_val1;
+                b = seq_val2;
+                fence_explicit(acquire);
+                s2 = seq_count;
+            }} while (s1 % 2 != 0 || s1 != s2);
+            assert(a == b);
+            checks = checks + 1;
+        }}
+        join(t);
+        assert(checks == {iters});
+        return 0;
+    }}
+    "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_arm, compile_stage, STAGES};
+    use atomig_core::Stage;
+
+    /// Table 2 expectations per benchmark: (name, [Original, Expl, Spin, AtoMig]).
+    fn expect_row(name: &str, src: String, expected: [bool; 4]) {
+        for (stage, expect_safe) in STAGES.iter().zip(expected) {
+            let (module, _) = compile_stage(&src, name, *stage);
+            let v = check_arm(&module);
+            assert!(!v.truncated, "{name} at {stage:?} truncated: {v}");
+            assert_eq!(
+                v.violation.is_none(),
+                expect_safe,
+                "{name} at {stage:?}: expected safe={expect_safe}, got {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_ck_ring_row() {
+        expect_row("ck_ring", ring_mc(), [false, true, true, true]);
+    }
+
+    #[test]
+    fn table2_ck_spinlock_cas_row() {
+        expect_row(
+            "ck_spinlock_cas",
+            spinlock_cas_mc(),
+            [false, true, true, true],
+        );
+    }
+
+    #[test]
+    fn table2_ck_spinlock_mcs_row() {
+        expect_row(
+            "ck_spinlock_mcs",
+            spinlock_mcs_mc(),
+            [false, false, true, true],
+        );
+    }
+
+    #[test]
+    fn table2_ck_sequence_row() {
+        expect_row("ck_sequence", sequence_mc(), [false, false, false, true]);
+    }
+
+    #[test]
+    fn originals_are_correct_under_tso() {
+        // The benchmarks are legacy x86 code: they must pass unported on
+        // their home memory model.
+        for (name, src) in [
+            ("ck_ring", ring_mc()),
+            ("ck_spinlock_cas", spinlock_cas_mc()),
+            ("ck_spinlock_mcs", spinlock_mcs_mc()),
+            ("ck_sequence", sequence_mc()),
+        ] {
+            let (module, _) = compile_stage(&src, name, Stage::Original);
+            let v = atomig_wmm::Checker::new(atomig_wmm::ModelKind::Tso).check(&module, "main");
+            assert!(v.passed(), "{name} under TSO: {v}");
+        }
+    }
+
+    #[test]
+    fn perf_programs_run_clean_when_ported() {
+        for (name, src) in [
+            ("ck_ring", ring_perf(20)),
+            ("ck_spinlock_cas", spinlock_cas_perf(2, 20)),
+            ("ck_spinlock_mcs", spinlock_mcs_perf(2, 10)),
+            ("ck_sequence", sequence_perf(10)),
+        ] {
+            let (module, report) = compile_stage(&src, name, Stage::Full);
+            assert!(report.spinloops > 0, "{name}: no spinloops found");
+            let r = atomig_wmm::run_default(&module);
+            assert!(r.ok(), "{name}: {:?}", r.failure);
+        }
+    }
+
+    #[test]
+    fn expert_ports_run_clean() {
+        for (name, src) in [
+            ("ck_ring_expert", ring_expert_perf(20)),
+            ("ck_spinlock_cas_expert", spinlock_cas_expert_perf(2, 20)),
+            ("ck_spinlock_mcs_expert", spinlock_mcs_expert_perf(2, 10)),
+            ("ck_sequence_expert", sequence_expert_perf(10)),
+        ] {
+            let module = atomig_frontc::compile(&src, name).unwrap();
+            // A small quantum forces lock contention so the contended
+            // paths (and their fences) actually execute.
+            let cfg = atomig_wmm::InterpConfig {
+                quantum: 3,
+                ..Default::default()
+            };
+            let r = atomig_wmm::run(&module, &cfg);
+            assert!(r.ok(), "{name}: {:?}", r.failure);
+            assert!(
+                r.stats.fences + r.stats.light_fences > 0,
+                "{name}: expert port should fence"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Simplified CLHT hash tables (§4.3, Table 5): a lock-based and a
+//! lock-free variant, written for x86 only ("developed solely for x86",
+//! no WMM corrections). The paper uses them to demonstrate end-to-end
+//! porting: the baseline is a plain recompile (which is *incorrect* on
+//! WMM), so AtoMig's overhead is measured against buggy code and comes
+//! out higher than for the other benchmarks (1.10 / 1.40).
+
+/// The lock-based CLHT variant: per-bucket test-and-set locks, plain
+/// bucket contents (x86-correct only).
+pub fn clht_lb_perf(threads: u32, ops: u32) -> String {
+    format!(
+        r#"
+    struct Bucket {{ int lock; long key0; long val0; long key1; long val1; }};
+    struct Bucket buckets[8];
+    long hits;
+
+    void bucket_lock(struct Bucket *b) {{
+        while (cmpxchg_explicit(&b->lock, 0, 1, relaxed) != 0) {{ pause(); }}
+    }}
+
+    void bucket_unlock(struct Bucket *b) {{
+        b->lock = 0;
+    }}
+
+    void put(long key, long val) {{
+        struct Bucket *b = &buckets[key % 8];
+        bucket_lock(b);
+        if (b->key0 == 0 || b->key0 == key) {{
+            b->key0 = key;
+            b->val0 = val;
+        }} else {{
+            b->key1 = key;
+            b->val1 = val;
+        }}
+        bucket_unlock(b);
+    }}
+
+    long get(long key) {{
+        struct Bucket *b = &buckets[key % 8];
+        bucket_lock(b);
+        long v = 0;
+        if (b->key0 == key) v = b->val0;
+        if (b->key1 == key) v = b->val1;
+        bucket_unlock(b);
+        return v;
+    }}
+
+    void worker(long seed) {{
+        long found = 0;
+        for (long i = 0; i < {ops}; i++) {{
+            long key = (seed * 31 + i * 7) % 16 + 1;
+            if (i % 4 == 0) {{
+                put(key, key * 10);
+            }} else {{
+                long v = get(key);
+                if (v != 0) found = found + 1;
+            }}
+        }}
+        faa(&hits, found);
+    }}
+
+    int main() {{
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t + 1);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// The lock-free CLHT variant: CAS-published slots, plain value reads
+/// (x86-correct only — on WMM the value read can be stale).
+pub fn clht_lf_perf(threads: u32, ops: u32) -> String {
+    format!(
+        r#"
+    struct Slot {{ long key; long val; }};
+    struct Slot slots[16];
+    long hits;
+
+    void put(long key, long val) {{
+        int idx = (int)(key % 16);
+        for (int probe = 0; probe < 16; probe++) {{
+            struct Slot *s = &slots[(idx + probe) % 16];
+            long cur = s->key;
+            if (cur == key) {{
+                s->val = val;
+                return;
+            }}
+            if (cur == 0) {{
+                if (cmpxchg_explicit(&s->key, 0, key, relaxed) == 0) {{
+                    s->val = val;
+                    return;
+                }}
+            }}
+        }}
+    }}
+
+    long get(long key) {{
+        int idx = (int)(key % 16);
+        for (int probe = 0; probe < 16; probe++) {{
+            struct Slot *s = &slots[(idx + probe) % 16];
+            long cur = s->key;
+            if (cur == key) return s->val;
+            if (cur == 0) return 0;
+        }}
+        return 0;
+    }}
+
+    void worker(long seed) {{
+        long found = 0;
+        for (long i = 0; i < {ops}; i++) {{
+            long key = (seed * 31 + i * 7) % 12 + 1;
+            if (i % 4 == 0) {{
+                put(key, key * 10);
+            }} else {{
+                long v = get(key);
+                if (v != 0) found = found + 1;
+            }}
+        }}
+        faa(&hits, found);
+    }}
+
+    int main() {{
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t + 1);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        return 0;
+    }}
+    "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_stage;
+    use atomig_core::Stage;
+
+    #[test]
+    fn clht_lb_detects_bucket_spinlock() {
+        let (module, report) = compile_stage(&clht_lb_perf(2, 40), "clht_lb", Stage::Full);
+        assert!(report.spinloops >= 1, "report: {report}");
+        let r = atomig_wmm::run_default(&module);
+        assert!(r.ok(), "{:?}", r.failure);
+    }
+
+    #[test]
+    fn clht_lf_runs_both_variants() {
+        for stage in [Stage::Original, Stage::Full] {
+            let (module, _) = compile_stage(&clht_lf_perf(2, 40), "clht_lf", stage);
+            let r = atomig_wmm::run_default(&module);
+            assert!(r.ok(), "{stage:?}: {:?}", r.failure);
+        }
+    }
+
+    #[test]
+    fn atomig_port_costs_more_than_unported_baseline() {
+        // CLHT's Table 5 baseline is the unported (incorrect) recompile;
+        // the AtoMig port must cost more, but far less than naive.
+        let orig = crate::compile_baseline(&clht_lb_perf(2, 60), "clht_lb");
+        let (ported, _) = compile_stage(&clht_lb_perf(2, 60), "clht_lb", Stage::Full);
+        let (naive, _) = crate::compile_naive(&clht_lb_perf(2, 60), "clht_lb");
+        let ro = atomig_wmm::run_default(&orig);
+        let rp = atomig_wmm::run_default(&ported);
+        let rn = atomig_wmm::run_default(&naive);
+        assert!(ro.ok() && rp.ok() && rn.ok());
+        let cm = atomig_wmm::CostModel::ARMV8;
+        let atomig_slow = cm.slowdown(&ro.stats, &rp.stats);
+        let naive_slow = cm.slowdown(&ro.stats, &rn.stats);
+        assert!(atomig_slow > 1.0, "atomig {atomig_slow}");
+        assert!(naive_slow > atomig_slow, "naive {naive_slow} vs atomig {atomig_slow}");
+    }
+}

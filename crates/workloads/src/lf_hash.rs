@@ -1,0 +1,198 @@
+//! The MariaDB lock-free hash (Figure 7) — the benchmark on which AtoMig
+//! found a real WMM bug (MDEV-27088).
+//!
+//! `l_find` snapshots a node's `state` and `key` optimistically and
+//! retries if `state` changed; `l_delete` invalidates the node with a CAS
+//! and then clears the key. On TSO the snapshot is sound; on WMM the key
+//! read can pair with a stale state read, observing `state == VALID` with
+//! `key == NULL` — the paper's Figure 7. Making `state` SC (the Spin
+//! stage) is not enough on Arm-flavoured hardware; the explicit fences of
+//! the optimistic-control transformation are required.
+
+/// Node state: present and readable.
+pub const VALID: i64 = 1;
+/// Node state: logically deleted.
+pub const INVALID: i64 = 2;
+
+/// The TSO source of the lf-hash core.
+pub fn lf_hash_tso() -> &'static str {
+    r#"
+    struct LfNode { long state; long key; };
+
+    long l_find(struct LfNode *n) {
+        long st; long k;
+        do {
+            st = n->state;
+            k = n->key;
+        } while (st != n->state);
+        if (st == 1) {
+            assert(k != 0);
+        }
+        return k;
+    }
+
+    void l_delete(struct LfNode *n) {
+        if (cmpxchg_explicit(&n->state, 1, 2, relaxed) == 1) {
+            n->key = 0;
+        }
+    }
+    "#
+}
+
+/// Model-checking client: one finder races one deleter on a single node.
+pub fn lf_hash_mc() -> String {
+    format!(
+        r#"{}
+    void deleter(long addr) {{
+        l_delete((struct LfNode*)addr);
+    }}
+    int main() {{
+        struct LfNode *n = (struct LfNode*)malloc(sizeof(struct LfNode));
+        n->state = 1;
+        n->key = 77;
+        long t = spawn(deleter, (long)n);
+        long k = l_find(n);
+        join(t);
+        return 0;
+    }}
+    "#,
+        lf_hash_tso()
+    )
+}
+
+/// Performance client: a small table of nodes; one mutator deletes and
+/// re-inserts while two searchers scan (the paper's "parallel searches,
+/// insertions and deletions").
+pub fn lf_hash_perf(nodes: u32, rounds: u32) -> String {
+    format!(
+        r#"
+    struct LfNode {{ long state; long key; }};
+    long table[{nodes}];
+    long found_total;
+
+    long l_find(struct LfNode *n) {{
+        long st; long k;
+        do {{
+            st = n->state;
+            k = n->key;
+        }} while (st != n->state);
+        if (st == 1) {{
+            assert(k != 0);
+        }}
+        return k;
+    }}
+
+    void l_delete(struct LfNode *n) {{
+        if (cmpxchg_explicit(&n->state, 1, 2, relaxed) == 1) {{
+            n->key = 0;
+        }}
+    }}
+
+    void l_insert(struct LfNode *n, long key) {{
+        n->key = key;
+        atomic_store_explicit(&n->state, 1, relaxed);
+    }}
+
+    void mutator(long rounds) {{
+        for (long r = 0; r < rounds; r++) {{
+            for (int i = 0; i < {nodes}; i++) {{
+                long h = hash_key(r + i);
+                struct LfNode *n = (struct LfNode*)table[(h + i) % {nodes}];
+                l_delete(n);
+                l_insert(n, r * {nodes} + i + 1);
+            }}
+        }}
+    }}
+
+    long hash_key(long k) {{
+        long h = k;
+        for (int i = 0; i < 6; i++) {{
+            h = h * 31 + 17;
+            h = h % 1000003;
+        }}
+        return h;
+    }}
+
+    void searcher(long rounds) {{
+        long acc = 0;
+        for (long r = 0; r < rounds; r++) {{
+            for (int i = 0; i < {nodes}; i++) {{
+                long h = hash_key(r * {nodes} + i);
+                acc = acc + l_find((struct LfNode*)table[(h + i) % {nodes}]);
+            }}
+        }}
+        faa(&found_total, acc);
+    }}
+
+    int main() {{
+        for (int i = 0; i < {nodes}; i++) {{
+            struct LfNode *n = (struct LfNode*)malloc(sizeof(struct LfNode));
+            n->state = 1;
+            n->key = i + 1;
+            table[i] = (long)n;
+        }}
+        long m = spawn(mutator, {rounds});
+        long s1 = spawn(searcher, {rounds});
+        long s2 = spawn(searcher, {rounds});
+        join(m);
+        join(s1);
+        join(s2);
+        return 0;
+    }}
+    "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_arm, compile_stage, STAGES};
+    use atomig_core::Stage;
+
+    /// Table 2, lf-hash row: x x x Y.
+    #[test]
+    fn table2_lf_hash_row() {
+        let expected = [false, false, false, true];
+        for (stage, expect_safe) in STAGES.iter().zip(expected) {
+            let (module, _) = compile_stage(&lf_hash_mc(), "lf_hash", *stage);
+            let v = check_arm(&module);
+            assert!(!v.truncated, "lf-hash at {stage:?} truncated: {v}");
+            assert_eq!(
+                v.violation.is_none(),
+                expect_safe,
+                "lf-hash at {stage:?}: expected safe={expect_safe}, got {v}"
+            );
+        }
+    }
+
+    /// The original is correct on its home model (TSO): the bug is
+    /// genuinely a WMM porting bug, as the paper reports.
+    #[test]
+    fn lf_hash_correct_under_tso() {
+        let (module, _) = compile_stage(&lf_hash_mc(), "lf_hash", Stage::Original);
+        let v = atomig_wmm::Checker::new(atomig_wmm::ModelKind::Tso).check(&module, "main");
+        assert!(v.passed(), "lf-hash under TSO: {v}");
+    }
+
+    /// The AtoMig port detects the optimistic loop and inserts fences.
+    #[test]
+    fn atomig_port_adds_fences() {
+        let (_, report) = compile_stage(&lf_hash_mc(), "lf_hash", Stage::Full);
+        // The loop is counted twice: once in @l_find itself and once in
+        // the copy inlined into @main (§3.5 inlining happens first).
+        assert!(report.spinloops >= 1);
+        assert!(report.optiloops >= 1);
+        assert_eq!(report.spinloops, report.optiloops);
+        assert!(report.explicit_barriers_added >= 3);
+    }
+
+    /// The ported perf client runs to completion (snapshot assertion
+    /// holds under the interpreter's SC execution).
+    #[test]
+    fn perf_client_runs() {
+        let (module, _) = compile_stage(&lf_hash_perf(4, 10), "lf_hash_perf", Stage::Full);
+        let r = atomig_wmm::run_default(&module);
+        assert!(r.ok(), "{:?}", r.failure);
+        assert!(r.stats.rmws > 0);
+    }
+}

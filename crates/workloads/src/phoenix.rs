@@ -1,0 +1,356 @@
+//! The Phoenix 2.0 map-reduce kernels of Table 6.
+//!
+//! "The threads in these programs generally only synchronize using
+//! pthread based barriers (i.e., not based on shared memory accesses) in
+//! between performing trivially parallel tasks" — so AtoMig's
+//! pattern-based port adds (almost) nothing, the Naïve all-SC port slows
+//! the kernels in proportion to their *shared*-access density, and the
+//! Lasagne-style explicit-fence port is slower still.
+//!
+//! The five kernels keep their Phoenix access profiles: `histogram` and
+//! `string_match` stream shared data per element (high shared density);
+//! `kmeans`, `linear_regression` and `matrix_multiply` copy their inputs
+//! into thread-private buffers and compute locally (low shared density —
+//! the register/cache locality a real `-O2` build gives them).
+
+/// Names in Table 6 order.
+pub const KERNELS: [&str; 5] = [
+    "histogram",
+    "kmeans",
+    "linear_regression",
+    "matrix_multiply",
+    "string_match",
+];
+
+/// Returns the MiniC program for `kernel` with `threads` workers.
+///
+/// # Panics
+///
+/// Panics on an unknown kernel name.
+pub fn kernel(name: &str, threads: u32) -> String {
+    match name {
+        "histogram" => histogram(threads),
+        "kmeans" => kmeans(threads),
+        "linear_regression" => linear_regression(threads),
+        "matrix_multiply" => matrix_multiply(threads),
+        "string_match" => string_match(threads),
+        other => panic!("unknown phoenix kernel `{other}`"),
+    }
+}
+
+/// histogram: every element touches the shared input *and* a shared
+/// per-thread bin row — high shared density (Table 6 naive 2.80).
+pub fn histogram(threads: u32) -> String {
+    let n = 512;
+    let m = n * 3;
+    format!(
+        r#"
+    int input[{m}];
+    long bins[{threads}][8];
+    long total;
+
+    void worker(long tid) {{
+        long chunk = {n} / {threads};
+        long lo = tid * chunk;
+        long hi = lo + chunk;
+        barrier_wait({threads});
+        long base = lo * 3;
+        for (long i = lo; i < hi; i++) {{
+            int rb = input[base] % 8;
+            int gb = input[base + 1] % 8;
+            int bb = input[base + 2] % 8;
+            base = base + 3;
+            bins[tid][rb] = bins[tid][rb] + 1;
+            bins[tid][gb] = bins[tid][gb] + 1;
+            bins[tid][bb] = bins[tid][bb] + 1;
+        }}
+        barrier_wait({threads});
+    }}
+
+    int main() {{
+        for (int i = 0; i < {m}; i++) input[i] = (i * 37 + 11) % 251;
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        long sum = 0;
+        for (int t = 0; t < {threads}; t++)
+            for (int b = 0; b < 8; b++) sum = sum + bins[t][b];
+        assert(sum == {n} * 3);
+        return 0;
+    }}
+    "#
+    )
+}
+
+/// kmeans: points are copied to thread-private buffers; the distance
+/// computation is local arithmetic (Table 6 naive 1.07).
+pub fn kmeans(threads: u32) -> String {
+    let points = 64;
+    let dims = 4;
+    let clusters = 4;
+    format!(
+        r#"
+    long coords[{n}];
+    long centroids[{cn}];
+    int assignment[{points}];
+
+    void worker(long tid) {{
+        long chunk = {points} / {threads};
+        long lo = tid * chunk;
+        long hi = lo + chunk;
+        long c[{cn}];
+        for (int i = 0; i < {cn}; i++) c[i] = centroids[i];
+        barrier_wait({threads});
+        for (long p = lo; p < hi; p++) {{
+            long x[{dims}];
+            for (int d = 0; d < {dims}; d++) x[d] = coords[p * {dims} + d];
+            long best = 0;
+            long bestd = 1000000000;
+            for (int k = 0; k < {clusters}; k++) {{
+                long dist = 0;
+                for (int d = 0; d < {dims}; d++) {{
+                    long diff = x[d] - c[k * {dims} + d];
+                    dist = dist + diff * diff;
+                }}
+                if (dist < bestd) {{ bestd = dist; best = k; }}
+            }}
+            assignment[p] = (int)best;
+        }}
+        barrier_wait({threads});
+    }}
+
+    int main() {{
+        for (int i = 0; i < {n}; i++) coords[i] = (i * 13 + 5) % 100;
+        for (int i = 0; i < {cn}; i++) centroids[i] = (i * 29 + 3) % 100;
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        return 0;
+    }}
+    "#,
+        n = points * dims,
+        cn = clusters * dims,
+    )
+}
+
+/// linear_regression: streams the input once into private accumulators
+/// that live on the stack (Table 6 naive 1.02).
+pub fn linear_regression(threads: u32) -> String {
+    let n = 512;
+    format!(
+        r#"
+    long points[{m}];
+    long results[{threads}][5];
+
+    void worker(long tid) {{
+        long chunk = {n} / {threads};
+        long lo = tid * chunk;
+        long hi = lo + chunk;
+        long buf[16];
+        long sx = 0; long sy = 0; long sxx = 0; long syy = 0; long sxy = 0;
+        barrier_wait({threads});
+        for (long i = lo; i < hi; i = i + 8) {{
+            for (int j = 0; j < 16; j++) buf[j] = points[i * 2 + j];
+            for (int j = 0; j < 8; j++) {{
+                long x = buf[j * 2];
+                long y = buf[j * 2 + 1];
+                sx = sx + x;
+                sy = sy + y;
+                sxx = sxx + x * x;
+                syy = syy + y * y;
+                sxy = sxy + x * y;
+            }}
+        }}
+        results[tid][0] = sx;
+        results[tid][1] = sy;
+        results[tid][2] = sxx;
+        results[tid][3] = syy;
+        results[tid][4] = sxy;
+        barrier_wait({threads});
+    }}
+
+    int main() {{
+        for (int i = 0; i < {m}; i++) points[i] = (i * 7 + 1) % 50;
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        return 0;
+    }}
+    "#,
+        m = n * 2,
+    )
+}
+
+/// matrix_multiply: each worker copies its row/column panels to private
+/// buffers and multiplies locally (Table 6 naive 1.01).
+pub fn matrix_multiply(threads: u32) -> String {
+    let n = 16;
+    format!(
+        r#"
+    long a[{nn}];
+    long b[{nn}];
+    long c[{nn}];
+
+    void worker(long tid) {{
+        long chunk = {n} / {threads};
+        long lo = tid * chunk;
+        long hi = lo + chunk;
+        long bloc[{nn}];
+        for (int i = 0; i < {nn}; i++) bloc[i] = b[i];
+        barrier_wait({threads});
+        for (long i = lo; i < hi; i++) {{
+            long arow[{n}];
+            for (int k = 0; k < {n}; k++) arow[k] = a[i * {n} + k];
+            for (int j = 0; j < {n}; j++) {{
+                long acc = 0;
+                for (int k = 0; k < {n}; k++)
+                    acc = acc + arow[k] * bloc[k * {n} + j];
+                c[i * {n} + j] = acc;
+            }}
+        }}
+        barrier_wait({threads});
+    }}
+
+    int main() {{
+        for (int i = 0; i < {nn}; i++) {{ a[i] = i % 9 + 1; b[i] = i % 7 + 1; }}
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        assert(c[0] != 0);
+        return 0;
+    }}
+    "#,
+        nn = n * n,
+    )
+}
+
+/// string_match: compares shared encrypted words against shared keys per
+/// character, with a little local bookkeeping (Table 6 naive 1.70).
+pub fn string_match(threads: u32) -> String {
+    let words = 64;
+    let wlen = 8;
+    format!(
+        r#"
+    int dictionary[{m}];
+    int keys[{wlen}];
+    long matches[{threads}];
+
+    void worker(long tid) {{
+        long chunk = {words} / {threads};
+        long lo = tid * chunk;
+        long hi = lo + chunk;
+        long found = 0;
+        barrier_wait({threads});
+        for (long w = lo; w < hi; w++) {{
+            int ok = 1;
+            for (int i = 0; i < {wlen}; i++) {{
+                int enc = (dictionary[w * {wlen} + i] * 3 + 1) % 97;
+                int want = keys[i];
+                if (enc != want) {{ ok = 0; }}
+            }}
+            if (ok) found = found + 1;
+        }}
+        matches[tid] = found;
+        barrier_wait({threads});
+    }}
+
+    int main() {{
+        for (int i = 0; i < {m}; i++) dictionary[i] = (i * 11 + 3) % 26;
+        for (int i = 0; i < {wlen}; i++) keys[i] = (((i + 64 * {wlen}) * 11 + 3) % 26 * 3 + 1) % 97;
+        long tids[8];
+        for (int t = 0; t < {threads}; t++) tids[t] = spawn(worker, t);
+        for (int t = 0; t < {threads}; t++) join(tids[t]);
+        return 0;
+    }}
+    "#,
+        m = words * wlen,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_atomig, compile_baseline, compile_lasagne, compile_naive, run_cost};
+
+    #[test]
+    fn all_kernels_run_in_all_variants() {
+        for name in KERNELS {
+            let src = kernel(name, 2);
+            let base = compile_baseline(&src, name);
+            let (naive, _) = compile_naive(&src, name);
+            let (lasagne, _) = compile_lasagne(&src, name);
+            let (atomig, _) = compile_atomig(&src, name);
+            run_cost(&base, name);
+            run_cost(&naive, name);
+            run_cost(&lasagne, name);
+            run_cost(&atomig, name);
+        }
+    }
+
+    /// Table 6 shape: AtoMig ~1.0 on every kernel; naive hurts the
+    /// shared-heavy kernels most; Lasagne is worse than naive on average.
+    #[test]
+    fn table6_shape_holds() {
+        let mut naive_prod = 1.0f64;
+        let mut lasagne_prod = 1.0f64;
+        let mut atomig_prod = 1.0f64;
+        let mut count = 0;
+        for name in KERNELS {
+            let src = kernel(name, 2);
+            let (_, base_cost) = run_cost(&compile_baseline(&src, name), name);
+            let (_, naive_cost) = run_cost(&compile_naive(&src, name).0, name);
+            let (_, lasagne_cost) = run_cost(&compile_lasagne(&src, name).0, name);
+            let (_, atomig_cost) = run_cost(&compile_atomig(&src, name).0, name);
+            let naive = naive_cost as f64 / base_cost as f64;
+            let lasagne = lasagne_cost as f64 / base_cost as f64;
+            let atomig = atomig_cost as f64 / base_cost as f64;
+            assert!(atomig < 1.10, "{name}: atomig {atomig}");
+            assert!(naive >= atomig - 0.01, "{name}: naive {naive} < atomig {atomig}");
+            naive_prod *= naive;
+            lasagne_prod *= lasagne;
+            atomig_prod *= atomig;
+            count += 1;
+        }
+        let g = 1.0 / count as f64;
+        let (naive_gm, lasagne_gm, atomig_gm) = (
+            naive_prod.powf(g),
+            lasagne_prod.powf(g),
+            atomig_prod.powf(g),
+        );
+        // Paper geomeans: naive 1.39, lasagne 1.73, atomig 1.01.
+        assert!(atomig_gm < 1.05, "atomig geomean {atomig_gm}");
+        assert!(naive_gm > 1.15, "naive geomean {naive_gm}");
+        assert!(
+            lasagne_gm > naive_gm,
+            "lasagne {lasagne_gm} should exceed naive {naive_gm}"
+        );
+    }
+
+    /// histogram and string_match are the shared-heavy kernels: naive
+    /// hits them hardest (paper: 2.80 and 1.70 vs ~1.0 for the others).
+    #[test]
+    fn naive_hits_shared_heavy_kernels_hardest() {
+        let slow = |name: &str| {
+            let src = kernel(name, 2);
+            let (_, b) = run_cost(&compile_baseline(&src, name), name);
+            let (_, n) = run_cost(&compile_naive(&src, name).0, name);
+            n as f64 / b as f64
+        };
+        let hist = slow("histogram");
+        let sm = slow("string_match");
+        let mm = slow("matrix_multiply");
+        let lr = slow("linear_regression");
+        let km = slow("kmeans");
+        // Paper: histogram 2.80 and string_match 1.70 are the big losers;
+        // kmeans 1.07, linear_regression 1.02, matrix_multiply 1.01 are
+        // barely affected. Our magnitudes are smaller (cost-model charges
+        // loop arithmetic the real -O2 hides) but the ordering holds.
+        assert!(hist > 1.5, "histogram naive {hist}");
+        assert!(sm > 1.2, "string_match naive {sm}");
+        assert!(mm < 1.25, "matrix_multiply naive {mm}");
+        assert!(lr < 1.40, "linear_regression naive {lr}");
+        assert!(km < 1.40, "kmeans naive {km}");
+        assert!(hist > mm + 0.3 && hist > lr + 0.3 && hist > km + 0.3);
+        assert!(sm > mm && sm > lr);
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests over the whole stack (proptest).
+
+use atomig_core::{AtomigConfig, BarrierCensus, Pipeline};
+use atomig_workloads::synth::{generate, GenConfig};
+use proptest::prelude::*;
+
+/// A random arithmetic expression with its expected (wrapping) value —
+/// the oracle for the frontend+interpreter differential test.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Lit(v) => *v,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            Expr::And(a, b) => a.eval() & b.eval(),
+            Expr::Or(a, b) => a.eval() | b.eval(),
+            Expr::Xor(a, b) => a.eval() ^ b.eval(),
+        }
+    }
+
+    fn to_c(&self) -> String {
+        match self {
+            Expr::Lit(v) if *v < 0 => format!("(0 - {})", v.unsigned_abs()),
+            Expr::Lit(v) => v.to_string(),
+            Expr::Add(a, b) => format!("({} + {})", a.to_c(), b.to_c()),
+            Expr::Sub(a, b) => format!("({} - {})", a.to_c(), b.to_c()),
+            Expr::Mul(a, b) => format!("({} * {})", a.to_c(), b.to_c()),
+            Expr::And(a, b) => format!("({} & {})", a.to_c(), b.to_c()),
+            Expr::Or(a, b) => format!("({} | {})", a.to_c(), b.to_c()),
+            Expr::Xor(a, b) => format!("({} ^ {})", a.to_c(), b.to_c()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-1_000_000i64..1_000_000).prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_gen_config() -> impl Strategy<Value = GenConfig> {
+    (
+        1u32..6,
+        1u32..5,
+        0u32..4,
+        0u32..6,
+        0u32..4,
+        0u32..3,
+        0u32..6,
+        0u32..12,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(mp, tas, seq, at, vol, asm, dec, plain, seed)| GenConfig {
+                mp_waiters: mp,
+                tas_locks: tas,
+                seqlocks: seq,
+                atomics: at,
+                volatiles: vol,
+                asm_fences: asm,
+                decoys: dec,
+                plain_funcs: plain,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Frontend + interpreter differential test: MiniC arithmetic agrees
+    /// with a Rust-side oracle on wrapping i64 semantics.
+    #[test]
+    fn interpreter_matches_arithmetic_oracle(e in arb_expr()) {
+        let expected = e.eval();
+        let src = format!("int main() {{ long v = {}; print(v); return 0; }}", e.to_c());
+        let m = atomig_frontc::compile(&src, "arith").expect("compiles");
+        let r = atomig_wmm::run_default(&m);
+        prop_assert!(r.ok(), "{:?}", r.failure);
+        prop_assert_eq!(r.output, vec![expected]);
+    }
+
+    /// Any generated codebase survives the full round trip: compile,
+    /// verify, print, re-parse, re-print to a fixpoint.
+    #[test]
+    fn mir_textual_roundtrip(cfg in arb_gen_config()) {
+        let app = generate(cfg);
+        let m = atomig_frontc::compile(&app.source, "synth").expect("compiles");
+        atomig_mir::verify_module(&m).expect("verifies");
+        // Parsing alpha-renames instruction ids into textual order, so
+        // the fixpoint is reached after one normalization round.
+        let text1 = atomig_mir::printer::print_module(&m);
+        let m2 = atomig_mir::parse_module(&text1).expect("reparses");
+        atomig_mir::verify_module(&m2).expect("reparse verifies");
+        prop_assert_eq!(m2.inst_count(), m.inst_count());
+        let text2 = atomig_mir::printer::print_module(&m2);
+        let m3 = atomig_mir::parse_module(&text2).expect("normal form reparses");
+        prop_assert_eq!(atomig_mir::printer::print_module(&m3), text2);
+        prop_assert_eq!(m3.globals, m2.globals);
+        prop_assert_eq!(m3.structs, m2.structs);
+    }
+
+    /// Porting any generated codebase: finds exactly the planted
+    /// patterns, never decreases the barrier census, verifies, and is
+    /// idempotent.
+    #[test]
+    fn pipeline_is_sound_on_generated_codebases(cfg in arb_gen_config()) {
+        let app = generate(cfg);
+        let mut m = atomig_frontc::compile(&app.source, "synth").expect("compiles");
+        let before = BarrierCensus::of(&m);
+        let mut pcfg = AtomigConfig::full();
+        pcfg.inline = false;
+        let report = Pipeline::new(pcfg.clone()).port_module(&mut m);
+        atomig_mir::verify_module(&m).expect("ported module verifies");
+        prop_assert_eq!(report.spinloops, cfg.expected_spinloops() as usize);
+        prop_assert_eq!(report.optiloops, cfg.expected_optiloops() as usize);
+        let after = BarrierCensus::of(&m);
+        prop_assert!(after.implicit >= before.implicit);
+        prop_assert!(after.explicit >= before.explicit);
+        // Idempotence.
+        let snapshot = m.clone();
+        let again = Pipeline::new(pcfg).port_module(&mut m);
+        prop_assert_eq!(again.implicit_barriers_added, 0);
+        prop_assert_eq!(again.explicit_barriers_added, 0);
+        prop_assert_eq!(m, snapshot);
+    }
+
+    /// The frontend never panics on arbitrary input: it returns an error
+    /// or a verified module.
+    #[test]
+    fn frontend_total_on_garbage(src in "[ -~\\n]{0,200}") {
+        match atomig_frontc::compile(&src, "fuzz") {
+            Ok(m) => { atomig_mir::verify_module(&m).expect("accepted module verifies"); }
+            Err(e) => { prop_assert!(!e.is_empty()); }
+        }
+    }
+
+    /// The MIR text parser never panics on arbitrary input.
+    #[test]
+    fn mir_parser_total_on_garbage(src in "[ -~\\n]{0,200}") {
+        let _ = atomig_mir::parse_module(&src);
+    }
+
+    /// Inlining preserves behaviour: a deterministic program prints the
+    /// same outputs before and after `inline_module` (differential test
+    /// against the interpreter).
+    #[test]
+    fn inlining_preserves_behaviour(
+        seeds in proptest::collection::vec(0i64..1000, 1..5),
+        plain in 2u32..6,
+        gseed in any::<u64>(),
+    ) {
+        let app = generate(GenConfig {
+            mp_waiters: 1,
+            tas_locks: 1,
+            seqlocks: 1,
+            atomics: 2,
+            volatiles: 1,
+            asm_fences: 1,
+            decoys: 2,
+            plain_funcs: plain,
+            seed: gseed,
+        });
+        let mut driver = String::from("int main() {\n");
+        for (i, s) in seeds.iter().enumerate() {
+            let f = i as u32 % plain;
+            driver.push_str(&format!(
+                "    print(compute_{f}({s}, {}));\n",
+                s * 3 + 1
+            ));
+        }
+        driver.push_str("    return 0;\n}\n");
+        let src = format!("{}\n{}", app.source, driver);
+        let m1 = atomig_frontc::compile(&src, "diff").expect("compiles");
+        let r1 = atomig_wmm::run_default(&m1);
+        prop_assert!(r1.ok(), "{:?}", r1.failure);
+
+        let mut m2 = m1.clone();
+        let inlined =
+            atomig_analysis::inline_module(&mut m2, &atomig_analysis::InlineOptions::default());
+        atomig_mir::verify_module(&m2).expect("inlined module verifies");
+        let r2 = atomig_wmm::run_default(&m2);
+        prop_assert!(r2.ok(), "{:?}", r2.failure);
+        prop_assert_eq!(&r1.output, &r2.output, "inlined {} call sites", inlined);
+    }
+
+    /// The AtoMig transformation preserves single-threaded behaviour:
+    /// barriers change ordering constraints, never values.
+    #[test]
+    fn porting_preserves_sequential_behaviour(
+        seeds in proptest::collection::vec(0i64..1000, 1..4),
+        gseed in any::<u64>(),
+    ) {
+        let app = generate(GenConfig {
+            mp_waiters: 1,
+            tas_locks: 1,
+            seqlocks: 1,
+            atomics: 1,
+            volatiles: 1,
+            asm_fences: 1,
+            decoys: 2,
+            plain_funcs: 3,
+            seed: gseed,
+        });
+        let mut driver = String::from("int main() {\n");
+        for (i, s) in seeds.iter().enumerate() {
+            let f = i as u32 % 3;
+            driver.push_str(&format!("    print(compute_{f}({s}, {s}));\n"));
+            driver.push_str(&format!("    tas_update_0({s});\n"));
+            driver.push_str("    sl_write_0(7);\n    print(sl_read_0());\n");
+        }
+        driver.push_str("    return 0;\n}\n");
+        let src = format!("{}\n{}", app.source, driver);
+        let original = atomig_frontc::compile(&src, "port-diff").expect("compiles");
+        let r1 = atomig_wmm::run_default(&original);
+        prop_assert!(r1.ok(), "{:?}", r1.failure);
+
+        let mut ported = original.clone();
+        Pipeline::new(AtomigConfig::full()).port_module(&mut ported);
+        let r2 = atomig_wmm::run_default(&ported);
+        prop_assert!(r2.ok(), "{:?}", r2.failure);
+        prop_assert_eq!(&r1.output, &r2.output);
+    }
+}

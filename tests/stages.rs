@@ -1,0 +1,49 @@
+//! Monotonicity of the Table 2 detection stages: each stage marks at
+//! least what the previous one marked, on every bundled workload.
+
+use atomig_core::Stage;
+use atomig_workloads::{apps, ck, compile_stage, lf_hash};
+
+fn implicit_added(src: &str, name: &str, stage: Stage) -> (usize, usize) {
+    let (_, report) = compile_stage(src, name, stage);
+    (
+        report.implicit_barriers_added,
+        report.explicit_barriers_added,
+    )
+}
+
+#[test]
+fn stages_are_monotone_on_all_workloads() {
+    let workloads: Vec<(&str, String)> = vec![
+        ("ck_ring", ck::ring_mc()),
+        ("ck_spinlock_cas", ck::spinlock_cas_mc()),
+        ("ck_spinlock_mcs", ck::spinlock_mcs_mc()),
+        ("ck_sequence", ck::sequence_mc()),
+        ("lf_hash", lf_hash::lf_hash_mc()),
+        ("memcached", apps::app_perf("memcached", 5)),
+        ("sqlite", apps::app_perf("sqlite", 5)),
+    ];
+    for (name, src) in &workloads {
+        let (orig_i, orig_e) = implicit_added(src, name, Stage::Original);
+        let (expl_i, expl_e) = implicit_added(src, name, Stage::Explicit);
+        let (spin_i, spin_e) = implicit_added(src, name, Stage::Spin);
+        let (full_i, full_e) = implicit_added(src, name, Stage::Full);
+        assert_eq!((orig_i, orig_e), (0, 0), "{name}: original must not mark");
+        assert!(expl_i <= spin_i, "{name}: explicit {expl_i} > spin {spin_i}");
+        assert!(spin_i <= full_i, "{name}: spin {spin_i} > full {full_i}");
+        assert!(expl_e <= spin_e && spin_e <= full_e, "{name}");
+    }
+}
+
+#[test]
+fn explicit_fences_appear_only_in_full_stage() {
+    for (name, src) in [
+        ("ck_sequence", ck::sequence_mc()),
+        ("lf_hash", lf_hash::lf_hash_mc()),
+    ] {
+        let (_, spin_e) = implicit_added(&src, name, Stage::Spin);
+        let (_, full_e) = implicit_added(&src, name, Stage::Full);
+        assert_eq!(spin_e, 0, "{name}: spin stage must not add fences");
+        assert!(full_e > 0, "{name}: full stage must fence optimistic controls");
+    }
+}
