@@ -123,7 +123,9 @@ impl<'f> InfluenceAnalysis<'f> {
                     self.visit_read(id, *ptr, scope, &mut out, &mut work);
                     work.push(*ptr);
                 }
-                InstKind::Cmpxchg { ptr, expected, new, .. } => {
+                InstKind::Cmpxchg {
+                    ptr, expected, new, ..
+                } => {
                     self.visit_read(id, *ptr, scope, &mut out, &mut work);
                     work.push(*ptr);
                     work.push(*expected);
@@ -170,8 +172,7 @@ impl<'f> InfluenceAnalysis<'f> {
                             }
                         }
                         if out.insts.insert(sid) {
-                            if let Some(InstKind::Store { val, ptr, .. }) = self.index.get(&sid)
-                            {
+                            if let Some(InstKind::Store { val, ptr, .. }) = self.index.get(&sid) {
                                 work.push(*val);
                                 work.push(*ptr);
                             }
@@ -420,9 +421,7 @@ mod tests {
         let cond = f.blocks[1].insts[1].id;
         let deps = inf.value_deps(Value::Inst(cond), None);
         assert_eq!(deps.nonlocal_reads.len(), 1);
-        assert!(deps
-            .nonlocal_reads
-            .contains(&f.blocks[1].insts[0].id));
+        assert!(deps.nonlocal_reads.contains(&f.blocks[1].insts[0].id));
     }
 
     #[test]

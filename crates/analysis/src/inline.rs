@@ -7,8 +7,8 @@
 
 use crate::callgraph::CallGraph;
 use atomig_mir::{
-    Block, BlockId, Callee, Function, FuncId, GepIndex, Inst, InstId, InstKind, Module,
-    Terminator, Type, Value,
+    Block, BlockId, Callee, FuncId, Function, GepIndex, Inst, InstId, InstKind, Module, Terminator,
+    Type, Value,
 };
 use std::collections::HashMap;
 
@@ -112,27 +112,50 @@ fn remap_kind(kind: &InstKind, args: &[Value], inst_off: u32) -> InstKind {
             ty: ty.clone(),
             name: name.clone(),
         },
-        InstKind::Load { ptr, ty, ord, volatile } => InstKind::Load {
+        InstKind::Load {
+            ptr,
+            ty,
+            ord,
+            volatile,
+        } => InstKind::Load {
             ptr: r(*ptr),
             ty: ty.clone(),
             ord: *ord,
             volatile: *volatile,
         },
-        InstKind::Store { ptr, val, ty, ord, volatile } => InstKind::Store {
+        InstKind::Store {
+            ptr,
+            val,
+            ty,
+            ord,
+            volatile,
+        } => InstKind::Store {
             ptr: r(*ptr),
             val: r(*val),
             ty: ty.clone(),
             ord: *ord,
             volatile: *volatile,
         },
-        InstKind::Cmpxchg { ptr, expected, new, ty, ord } => InstKind::Cmpxchg {
+        InstKind::Cmpxchg {
+            ptr,
+            expected,
+            new,
+            ty,
+            ord,
+        } => InstKind::Cmpxchg {
             ptr: r(*ptr),
             expected: r(*expected),
             new: r(*new),
             ty: ty.clone(),
             ord: *ord,
         },
-        InstKind::Rmw { op, ptr, val, ty, ord } => InstKind::Rmw {
+        InstKind::Rmw {
+            op,
+            ptr,
+            val,
+            ty,
+            ord,
+        } => InstKind::Rmw {
             op: *op,
             ptr: r(*ptr),
             val: r(*val),
@@ -140,7 +163,11 @@ fn remap_kind(kind: &InstKind, args: &[Value], inst_off: u32) -> InstKind {
             ord: *ord,
         },
         InstKind::Fence { ord } => InstKind::Fence { ord: *ord },
-        InstKind::Gep { base, base_ty, indices } => InstKind::Gep {
+        InstKind::Gep {
+            base,
+            base_ty,
+            indices,
+        } => InstKind::Gep {
             base: r(*base),
             base_ty: base_ty.clone(),
             indices: indices
@@ -165,7 +192,11 @@ fn remap_kind(kind: &InstKind, args: &[Value], inst_off: u32) -> InstKind {
             value: r(*value),
             to: to.clone(),
         },
-        InstKind::Call { callee, args: a, ret_ty } => InstKind::Call {
+        InstKind::Call {
+            callee,
+            args: a,
+            ret_ty,
+        } => InstKind::Call {
             callee: *callee,
             args: a.iter().map(|v| r(*v)).collect(),
             ret_ty: ret_ty.clone(),
@@ -188,7 +219,9 @@ fn replace_uses(f: &mut Function, from: InstId, to: Value) {
                     subst(ptr);
                     subst(val);
                 }
-                InstKind::Cmpxchg { ptr, expected, new, .. } => {
+                InstKind::Cmpxchg {
+                    ptr, expected, new, ..
+                } => {
                     subst(ptr);
                     subst(expected);
                     subst(new);
@@ -259,13 +292,14 @@ fn inline_one(m: &mut Module, caller_id: FuncId, block: BlockId, pos: usize, cal
         let slot_id = caller.fresh_inst_id();
         caller.blocks[0].insts.insert(
             0,
-            Inst {
-                id: slot_id,
-                kind: InstKind::Alloca {
+            Inst::with_span(
+                slot_id,
+                InstKind::Alloca {
                     ty: ret_ty.clone(),
                     name: format!("inline.ret.{}", call_inst.id.0),
                 },
-            },
+                call_inst.span,
+            ),
         );
         Some(Value::Inst(slot_id))
     } else {
@@ -277,30 +311,36 @@ fn inline_one(m: &mut Module, caller_id: FuncId, block: BlockId, pos: usize, cal
     for cb in &callee.blocks {
         let mut insts: Vec<Inst> = Vec::with_capacity(cb.insts.len());
         for inst in &cb.insts {
-            insts.push(Inst {
-                id: InstId(inst.id.0 + inst_off),
-                kind: remap_kind(&inst.kind, &args, inst_off),
-            });
+            insts.push(Inst::with_span(
+                InstId(inst.id.0 + inst_off),
+                remap_kind(&inst.kind, &args, inst_off),
+                inst.span,
+            ));
         }
         let term = match &cb.term {
             Terminator::Br(t) => Terminator::Br(remap_block(*t)),
-            Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::CondBr {
                 cond: remap_value(*cond, &args, inst_off),
                 then_bb: remap_block(*then_bb),
                 else_bb: remap_block(*else_bb),
             },
             Terminator::Ret(v) => {
                 if let (Some(slot), Some(v)) = (ret_slot, v) {
-                    insts.push(Inst {
-                        id: caller.fresh_inst_id(),
-                        kind: InstKind::Store {
+                    insts.push(Inst::with_span(
+                        caller.fresh_inst_id(),
+                        InstKind::Store {
                             ptr: slot,
                             val: remap_value(*v, &args, inst_off),
                             ty: ret_ty.clone(),
                             ord: atomig_mir::Ordering::NotAtomic,
                             volatile: false,
                         },
-                    });
+                        call_inst.span,
+                    ));
                 }
                 Terminator::Br(cont_id)
             }
@@ -316,21 +356,19 @@ fn inline_one(m: &mut Module, caller_id: FuncId, block: BlockId, pos: usize, cal
     // Replace uses of the call result with a load from the return slot.
     if let Some(slot) = ret_slot {
         let load_id = caller.fresh_inst_id();
-        caller
-            .block_mut(cont_id)
-            .insts
-            .insert(
-                0,
-                Inst {
-                    id: load_id,
-                    kind: InstKind::Load {
-                        ptr: slot,
-                        ty: ret_ty,
-                        ord: atomig_mir::Ordering::NotAtomic,
-                        volatile: false,
-                    },
+        caller.block_mut(cont_id).insts.insert(
+            0,
+            Inst::with_span(
+                load_id,
+                InstKind::Load {
+                    ptr: slot,
+                    ty: ret_ty,
+                    ord: atomig_mir::Ordering::NotAtomic,
+                    volatile: false,
                 },
-            );
+                call_inst.span,
+            ),
+        );
         replace_uses(caller, call_inst.id, Value::Inst(load_id));
     }
 }
@@ -356,7 +394,9 @@ pub fn direct_call_count(m: &Module) -> usize {
 
 /// A map from function name to id for tests and tools.
 pub fn func_name_map(m: &Module) -> HashMap<String, FuncId> {
-    m.func_ids().map(|id| (m.func(id).name.clone(), id)).collect()
+    m.func_ids()
+        .map(|id| (m.func(id).name.clone(), id))
+        .collect()
 }
 
 #[cfg(test)]
@@ -389,9 +429,15 @@ mod tests {
         verify_module(&m).unwrap();
         // main now contains the load from @x directly.
         let main = m.func(m.func_by_name("main").unwrap());
-        let has_load = main
-            .insts()
-            .any(|(_, i)| matches!(i.kind, InstKind::Load { ptr: Value::Global(_), .. }));
+        let has_load = main.insts().any(|(_, i)| {
+            matches!(
+                i.kind,
+                InstKind::Load {
+                    ptr: Value::Global(_),
+                    ..
+                }
+            )
+        });
         assert!(has_load);
     }
 
@@ -422,10 +468,7 @@ mod tests {
         verify_module(&m).unwrap();
         let main = m.func(m.func_by_name("main").unwrap());
         // The conditional store was inlined; the tail store survives.
-        let stores = main
-            .insts()
-            .filter(|(_, i)| i.kind.may_write())
-            .count();
+        let stores = main.insts().filter(|(_, i)| i.kind.may_write()).count();
         assert_eq!(stores, 2);
         assert!(main.blocks.len() >= 4);
     }
@@ -459,9 +502,9 @@ mod tests {
         verify_module(&m).unwrap();
         let wait = m.func(m.func_by_name("wait").unwrap());
         // The @flag load is now inside @wait.
-        let has_flag_load = wait.insts().any(|(_, i)| {
-            matches!(i.kind, InstKind::Load { ptr: Value::Global(g), .. } if g.0 == 0)
-        });
+        let has_flag_load = wait.insts().any(
+            |(_, i)| matches!(i.kind, InstKind::Load { ptr: Value::Global(g), .. } if g.0 == 0),
+        );
         assert!(has_flag_load);
         assert_eq!(direct_call_count(&m), 0);
     }

@@ -26,6 +26,7 @@ pub mod escape;
 pub mod influence;
 pub mod inline;
 pub mod loops;
+pub mod reach;
 
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
@@ -34,3 +35,4 @@ pub use escape::EscapeInfo;
 pub use influence::{DepSet, InfluenceAnalysis};
 pub use inline::{inline_module, InlineOptions};
 pub use loops::{find_loops, LoopExit, NaturalLoop};
+pub use reach::ThreadReach;

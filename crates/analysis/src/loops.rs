@@ -85,7 +85,12 @@ pub fn find_loops(func: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop>
         // Exits: conditional branches with exactly one successor outside.
         let mut exits = Vec::new();
         for &b in &body {
-            if let Terminator::CondBr { cond, then_bb, else_bb } = func.block(b).term {
+            if let Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } = func.block(b).term
+            {
                 let t_in = body.contains(&then_bb);
                 let e_in = body.contains(&else_bb);
                 match (t_in, e_in) {

@@ -1,36 +1,34 @@
 //! Model-checker throughput on the litmus suite and the Table 2 clients
-//! (the machinery behind §4.1).
+//! (the machinery behind §4.1). Self-timed: `cargo bench -p atomig-bench`.
 
 use atomig_core::Stage;
 use atomig_wmm::{litmus, Checker, ModelKind};
 use atomig_workloads::{ck, compile_stage};
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
-fn bench_litmus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker");
-    group.sample_size(20);
+fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("{name:<40} {per:>12.2?}/iter  ({iters} iters)");
+}
+
+fn main() {
     for lit in litmus::all() {
         let m = lit.module();
-        group.bench_function(format!("arm/{}", lit.name), |b| {
-            b.iter(|| Checker::new(ModelKind::Arm).check(&m, "main"))
+        bench(&format!("checker/arm/{}", lit.name), 20, || {
+            let _ = Checker::new(ModelKind::Arm).check(&m, "main");
         });
     }
-    group.finish();
-}
-
-fn bench_table2_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
     let (ring, _) = compile_stage(&ck::ring_mc(), "ck_ring", Stage::Full);
-    group.bench_function("ck_ring/full", |b| {
-        b.iter(|| Checker::new(ModelKind::Arm).check(&ring, "main"))
+    bench("table2/ck_ring/full", 10, || {
+        let _ = Checker::new(ModelKind::Arm).check(&ring, "main");
     });
     let (seq, _) = compile_stage(&ck::sequence_mc(), "ck_sequence", Stage::Full);
-    group.bench_function("ck_sequence/full", |b| {
-        b.iter(|| Checker::new(ModelKind::Arm).check(&seq, "main"))
+    bench("table2/ck_sequence/full", 10, || {
+        let _ = Checker::new(ModelKind::Arm).check(&seq, "main");
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_litmus, bench_table2_rows);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! MiniC frontend throughput (the "initial compilation" column of the
-//! Table 3 build-time story).
+//! Table 3 build-time story). Self-timed: `cargo bench -p atomig-bench`.
 
 use atomig_workloads::synth::{generate, GenConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let app = generate(GenConfig {
         mp_waiters: 8,
         tas_locks: 4,
@@ -16,20 +16,29 @@ fn bench_compile(c: &mut Criterion) {
         plain_funcs: 120,
         seed: 3,
     });
-    let mut group = c.benchmark_group("frontend");
-    group.sample_size(20);
-    group.throughput(Throughput::Bytes(app.source.len() as u64));
-    group.bench_function("compile_synth", |b| {
-        b.iter(|| atomig_frontc::compile(&app.source, "synth").expect("compiles"))
-    });
-    group.bench_function("lex_parse_only", |b| {
-        b.iter(|| {
-            let toks = atomig_frontc::lex(&app.source).expect("lexes");
-            atomig_frontc::parse(&toks).expect("parses")
-        })
-    });
-    group.finish();
-}
+    let bytes = app.source.len() as f64;
 
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);
+    let iters = 20;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        atomig_frontc::compile(&app.source, "synth").expect("compiles");
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "frontend/compile_synth   {:>10.3} ms/iter   {:>8.1} MB/s",
+        per * 1e3,
+        bytes / per / 1e6
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let toks = atomig_frontc::lex(&app.source).expect("lexes");
+        atomig_frontc::parse(&toks).expect("parses");
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "frontend/lex_parse_only  {:>10.3} ms/iter   {:>8.1} MB/s",
+        per * 1e3,
+        bytes / per / 1e6
+    );
+}

@@ -1,10 +1,10 @@
 //! Pass throughput over synthetic modules of increasing size — the
 //! scalability curve behind Table 3 (the paper's "within minutes" /
-//! "2–3x build time" claim).
+//! "2–3x build time" claim). Self-timed: `cargo bench -p atomig-bench`.
 
 use atomig_core::{AtomigConfig, Pipeline};
 use atomig_workloads::synth::{generate, GenConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 fn config_of_size(k: u32) -> GenConfig {
     GenConfig {
@@ -20,32 +20,34 @@ fn config_of_size(k: u32) -> GenConfig {
     }
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
+fn main() {
     for k in [1u32, 4, 16] {
         let app = generate(config_of_size(k));
         let module = atomig_frontc::compile(&app.source, "synth").expect("compiles");
-        group.throughput(criterion::Throughput::Elements(module.inst_count() as u64));
-        group.bench_with_input(BenchmarkId::new("full_port", app.sloc), &module, |b, m| {
-            b.iter(|| {
-                let mut cfg = AtomigConfig::full();
-                cfg.inline = false;
-                let mut cloned = m.clone();
-                Pipeline::new(cfg).port_module(&mut cloned)
-            })
-        });
+        let iters = 10;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut cfg = AtomigConfig::full();
+            cfg.inline = false;
+            let mut cloned = module.clone();
+            let _ = Pipeline::new(cfg).port_module(&mut cloned);
+        }
+        let per = t0.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "pipeline/full_port sloc={:<8} {:>10.3} ms/iter   {:>10.0} insts/s",
+            app.sloc,
+            per * 1e3,
+            module.inst_count() as f64 / per
+        );
     }
-    group.finish();
-}
 
-fn bench_alias_map(c: &mut Criterion) {
     let app = generate(config_of_size(8));
     let module = atomig_frontc::compile(&app.source, "synth").expect("compiles");
-    c.bench_function("alias_map_build", |b| {
-        b.iter(|| atomig_core::AliasMap::build(&module, false))
-    });
+    let iters = 50;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = atomig_core::AliasMap::build(&module, false);
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("alias_map_build              {:>10.3} ms/iter", per * 1e3);
 }
-
-criterion_group!(benches, bench_pipeline, bench_alias_map);
-criterion_main!(benches);

@@ -20,7 +20,11 @@ use atomig_core::{AtomigConfig, Pipeline};
 use atomig_wmm::{Checker, CostModel, ModelKind};
 use atomig_workloads::{ck, compile_baseline};
 
-fn port_with(src: &str, name: &str, cfg: AtomigConfig) -> (atomig_mir::Module, atomig_core::PortReport) {
+fn port_with(
+    src: &str,
+    name: &str,
+    cfg: AtomigConfig,
+) -> (atomig_mir::Module, atomig_core::PortReport) {
     let mut m = atomig_frontc::compile(src, name).expect("compiles");
     let report = Pipeline::new(cfg).port_module(&mut m);
     (m, report)
@@ -77,7 +81,12 @@ fn main() {
         "{}",
         render_table(
             "Ablation A: correctness of a cross-function MP port",
-            &["Configuration", "Spinloops", "Impl. added", "Correct on ARM"],
+            &[
+                "Configuration",
+                "Spinloops",
+                "Impl. added",
+                "Correct on ARM"
+            ],
             &rows,
         )
     );
@@ -147,7 +156,13 @@ fn main() {
         "{}",
         render_table(
             "Ablation B: marking aggressiveness (pointer spin + fenced straight-line code)",
-            &["Configuration", "Spinloops", "Hints", "Impl. added", "Buddy marks"],
+            &[
+                "Configuration",
+                "Spinloops",
+                "Hints",
+                "Impl. added",
+                "Buddy marks"
+            ],
             &rows,
         )
     );
@@ -169,7 +184,10 @@ fn main() {
     let mut rows = Vec::new();
     for (label, cm) in [
         ("Armv8 ratios (implicit cheap)", CostModel::ARMV8),
-        ("flat barriers (implicit = explicit)", CostModel::FLAT_BARRIERS),
+        (
+            "flat barriers (implicit = explicit)",
+            CostModel::FLAT_BARRIERS,
+        ),
     ] {
         rows.push(vec![
             label.to_string(),

@@ -46,7 +46,10 @@ fn main() {
             assert!(!verdict.truncated, "{name} at {stage:?}: {verdict}");
             row.push(glyph(verdict.violation.is_none()).to_string());
         }
-        row.push(format!("{} {} {} {}", paper[0], paper[1], paper[2], paper[3]));
+        row.push(format!(
+            "{} {} {} {}",
+            paper[0], paper[1], paper[2], paper[3]
+        ));
         rows.push(row);
     }
 

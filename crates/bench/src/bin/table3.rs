@@ -21,16 +21,16 @@ fn main() {
 
         // Original build: frontend only.
         let t0 = Instant::now();
-        let module = atomig_frontc::compile(&app.source, profile.name)
-            .expect("generated source compiles");
+        let module =
+            atomig_frontc::compile(&app.source, profile.name).expect("generated source compiles");
         let build_time = t0.elapsed();
 
         // AtoMig build: frontend + the porting pipeline (inlining off so
         // the census is exact; the paper reports statically distinct
         // patterns).
         let t1 = Instant::now();
-        let mut ported = atomig_frontc::compile(&app.source, profile.name)
-            .expect("generated source compiles");
+        let mut ported =
+            atomig_frontc::compile(&app.source, profile.name).expect("generated source compiles");
         let mut cfg = AtomigConfig::full();
         cfg.inline = false;
         let report = Pipeline::new(cfg).port_module(&mut ported);

@@ -10,7 +10,9 @@
 
 use atomig_bench::{factor, render_table};
 use atomig_wmm::CostModel;
-use atomig_workloads::{apps, ck, clht, compile_atomig, compile_baseline, compile_naive, lf_hash, run_cost};
+use atomig_workloads::{
+    apps, ck, clht, compile_atomig, compile_baseline, compile_naive, lf_hash, run_cost,
+};
 
 fn main() {
     let cm = CostModel::ARMV8;

@@ -30,7 +30,11 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     }
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let line: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let _ = writeln!(out, "+{line}+");
     let hdr: Vec<String> = header
         .iter()

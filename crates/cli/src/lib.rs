@@ -8,9 +8,10 @@
 //! $ atomig port prog.c --stage spin # stop after spinloop detection
 //! $ atomig check prog.c --model arm # exhaustively model-check @main
 //! $ atomig run prog.c               # run deterministically, print cost
+//! $ atomig lint prog.c              # static WMM-robustness audit
 //! ```
 
-use atomig_core::{AtomigConfig, Pipeline, Stage};
+use atomig_core::{lint_module, AtomigConfig, LintRule, Pipeline, Stage};
 use atomig_wmm::{Checker, CostModel, ModelKind};
 
 /// A parsed command line.
@@ -45,6 +46,15 @@ pub enum Command {
         /// Port with full AtoMig before running.
         ported: bool,
     },
+    /// `atomig lint <file> [--ported] [--deny rule]*`
+    Lint {
+        /// Input path.
+        file: String,
+        /// Port with full AtoMig before auditing (should then be clean).
+        ported: bool,
+        /// Rules whose findings make the exit status non-zero.
+        deny: Vec<LintRule>,
+    },
     /// `atomig help`
     Help,
 }
@@ -58,11 +68,15 @@ USAGE:
                           [--naive | --lasagne]
     atomig check <file.c> [--model sc|tso|wmm|arm] [--ported]
     atomig run   <file.c> [--ported]
+    atomig lint  <file.c> [--ported]
+                          [--deny shared-plain-access|fence-placement]
 
 `port` prints the transformed IR (or, with --report, the Table-3 style
 porting statistics). `check` exhaustively model-checks @main and reports
 the first assertion violation. `run` executes @main deterministically and
-prints the Armv8 cost-model summary.";
+prints the Armv8 cost-model summary. `lint` statically audits the module
+for WMM-portability hazards and prints sourced diagnostics; findings for
+a --deny'd rule make the exit status non-zero (for CI).";
 
 /// Parses a command line (without the program name).
 ///
@@ -143,8 +157,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 ported,
             })
         }
+        "lint" => {
+            let mut file = None;
+            let mut ported = false;
+            let mut deny = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--ported" => ported = true,
+                    "--deny" => {
+                        let v = it.next().ok_or("--deny needs a value")?;
+                        let rule = LintRule::from_name(v).ok_or_else(|| {
+                            format!(
+                                "unknown lint rule `{v}` (accepted: {})",
+                                rule_names().join(", ")
+                            )
+                        })?;
+                        if !deny.contains(&rule) {
+                            deny.push(rule);
+                        }
+                    }
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            Ok(Command::Lint {
+                file: file.ok_or("lint: missing input file")?,
+                ported,
+                deny,
+            })
+        }
         other => Err(format!("unknown command `{other}` (try `atomig help`)")),
     }
+}
+
+fn rule_names() -> Vec<&'static str> {
+    LintRule::ALL.iter().map(|r| r.name()).collect()
 }
 
 fn parse_stage(s: &str) -> Result<Stage, String> {
@@ -153,7 +200,11 @@ fn parse_stage(s: &str) -> Result<Stage, String> {
         "expl" | "explicit" => Stage::Explicit,
         "spin" => Stage::Spin,
         "full" | "atomig" => Stage::Full,
-        other => return Err(format!("unknown stage `{other}`")),
+        other => {
+            return Err(format!(
+                "unknown stage `{other}` (accepted: original, expl, spin, full)"
+            ))
+        }
     })
 }
 
@@ -163,7 +214,11 @@ fn parse_model(s: &str) -> Result<ModelKind, String> {
         "tso" => ModelKind::Tso,
         "wmm" => ModelKind::Wmm,
         "arm" => ModelKind::Arm,
-        other => return Err(format!("unknown model `{other}`")),
+        other => {
+            return Err(format!(
+                "unknown model `{other}` (accepted: sc, tso, wmm, arm)"
+            ))
+        }
     })
 }
 
@@ -232,6 +287,23 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             } else {
                 Ok(format!("{model}: {verdict}"))
             }
+        }
+        Command::Lint { ported, deny, .. } => {
+            let mut module = atomig_frontc::compile(source, name)?;
+            if *ported {
+                Pipeline::new(AtomigConfig::full()).port_module(&mut module);
+            }
+            let report = lint_module(&module, &AtomigConfig::full());
+            let out = report.to_string();
+            let denied: Vec<&LintRule> = deny.iter().filter(|r| report.count(**r) > 0).collect();
+            if !denied.is_empty() {
+                let names: Vec<&str> = denied.iter().map(|r| r.name()).collect();
+                return Err(format!(
+                    "{out}lint: denied rule(s) fired: {}",
+                    names.join(", ")
+                ));
+            }
+            Ok(out)
         }
         Command::Run { ported, .. } => {
             let mut module = atomig_frontc::compile(source, name)?;
@@ -350,6 +422,65 @@ mod tests {
         let cmd = parse_args(&args("run bad.c")).unwrap();
         let err = execute(&cmd, "int main() { return nope; }", "bad").unwrap_err();
         assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_name_value_and_accepted_set() {
+        let err = parse_args(&args("port a.c --stage bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("original") && err.contains("full"), "{err}");
+        let err = parse_args(&args("check a.c --model fast")).unwrap_err();
+        assert!(err.contains("fast"), "{err}");
+        assert!(err.contains("sc") && err.contains("arm"), "{err}");
+        let err = parse_args(&args("lint a.c --deny everything")).unwrap_err();
+        assert!(err.contains("everything"), "{err}");
+        assert!(
+            err.contains("shared-plain-access") && err.contains("fence-placement"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_lint_command() {
+        assert_eq!(
+            parse_args(&args("lint a.c --ported --deny shared-plain-access")).unwrap(),
+            Command::Lint {
+                file: "a.c".into(),
+                ported: true,
+                deny: vec![LintRule::SharedPlainAccess],
+            }
+        );
+        assert!(parse_args(&args("lint")).is_err());
+        assert!(parse_args(&args("lint a.c --deny")).is_err());
+        assert!(parse_args(&args("lint a.c --bogus")).is_err());
+    }
+
+    #[test]
+    fn lint_flags_original_and_clears_ported() {
+        let cmd = parse_args(&args("lint mp.c")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("fence-placement"), "{out}");
+        assert!(out.contains("mp.c:"), "{out}");
+        let cmd = parse_args(&args("lint mp.c --ported")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("0 finding(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_deny_gates_exit_status() {
+        // Denied rule fires on the original module → Err (non-zero exit).
+        let cmd = parse_args(&args("lint mp.c --deny fence-placement")).unwrap();
+        let err = execute(&cmd, MP, "mp").unwrap_err();
+        assert!(
+            err.contains("denied rule(s) fired: fence-placement"),
+            "{err}"
+        );
+        // Ported module is clean, so the same deny passes.
+        let cmd = parse_args(&args(
+            "lint mp.c --ported --deny fence-placement --deny shared-plain-access",
+        ))
+        .unwrap();
+        assert!(execute(&cmd, MP, "mp").is_ok());
     }
 
     #[test]

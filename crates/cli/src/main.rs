@@ -19,7 +19,8 @@ fn main() -> ExitCode {
         }
         atomig_cli::Command::Port { file, .. }
         | atomig_cli::Command::Check { file, .. }
-        | atomig_cli::Command::Run { file, .. } => file.clone(),
+        | atomig_cli::Command::Run { file, .. }
+        | atomig_cli::Command::Lint { file, .. } => file.clone(),
     };
     let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,

@@ -160,4 +160,78 @@ mod tests {
         assert_eq!(on.key_count(), 1);
         assert_eq!(on.buddies(&MemLoc::Pointee(atomig_mir::Type::I32)).len(), 1);
     }
+
+    /// Pointee buckets are keyed by pointee type alone, so raw-pointer
+    /// accesses in different functions share one coarse bucket per type.
+    #[test]
+    fn pointee_buckets_span_functions_per_type() {
+        let m = parse_module(
+            r#"
+            fn @reader(%p: ptr i32) : i32 {
+            bb0:
+              %v = load i32, %p
+              ret %v
+            }
+            fn @writer(%p: ptr i32) : void {
+            bb0:
+              store i32 1, %p
+              ret
+            }
+            fn @other(%q: ptr i64) : i64 {
+            bb0:
+              %v = load i64, %q
+              ret %v
+            }
+            "#,
+        )
+        .unwrap();
+        let am = AliasMap::build(&m, true);
+        assert_eq!(am.key_count(), 2); // one bucket per pointee type
+        let i32_bucket = am.buddies(&MemLoc::Pointee(atomig_mir::Type::I32));
+        assert_eq!(i32_bucket.len(), 2, "reader + writer share the i32 bucket");
+        let funcs: Vec<u32> = i32_bucket.iter().map(|(f, _)| f.0).collect();
+        assert!(funcs.contains(&0) && funcs.contains(&1));
+        assert_eq!(
+            am.buddies(&MemLoc::Pointee(atomig_mir::Type::I64)).len(),
+            1,
+            "i64 pointer access stays in its own bucket"
+        );
+    }
+
+    /// Coarse pointee buckets coexist with precise `Field` keys: struct
+    /// accesses keep their field keys while raw-pointer accesses bucket
+    /// by type, and neither key's buddy list leaks into the other.
+    #[test]
+    fn pointee_buckets_mix_with_field_keys() {
+        let m = parse_module(SRC).unwrap();
+        let off = AliasMap::build(&m, false);
+        let on = AliasMap::build(&m, true);
+        // SRC has no raw-pointer accesses, so the same keys exist either way.
+        assert_eq!(off.key_count(), on.key_count());
+        assert_eq!(
+            on.buddies(&MemLoc::Field(StructId(0), vec![0])).len(),
+            2,
+            "field keys unchanged by the pointee knob"
+        );
+
+        let m2 = parse_module(
+            r#"
+            struct %Node { i64, i64 }
+            fn @f(%n: ptr %Node, %p: ptr i64) : void {
+            bb0:
+              %sa = gep %Node, %n, 0, 0
+              store i64 2, %sa
+              store i64 3, %p
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let am = AliasMap::build(&m2, true);
+        // The gep-resolved access keeps its precise Field key; only the
+        // raw pointer falls into the coarse bucket.
+        assert_eq!(am.buddies(&MemLoc::Field(StructId(0), vec![0])).len(), 1);
+        assert_eq!(am.buddies(&MemLoc::Pointee(atomig_mir::Type::I64)).len(), 1);
+        assert_eq!(am.key_count(), 2);
+    }
 }

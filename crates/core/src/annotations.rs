@@ -58,26 +58,16 @@ pub fn scan_annotations(func: &Function, blacklist: &[MemLoc]) -> AnnotationMark
             InstKind::Load { volatile: true, .. } | InstKind::Store { volatile: true, .. }
         );
         if is_atomic {
-            out.atomics.push(Mark {
-                inst: inst.id,
-                loc,
-            });
+            out.atomics.push(Mark { inst: inst.id, loc });
         } else if is_volatile && !blacklist.contains(&loc) {
-            out.volatiles.push(Mark {
-                inst: inst.id,
-                loc,
-            });
+            out.volatiles.push(Mark { inst: inst.id, loc });
         }
     }
     out
 }
 
 /// Resolves the alias key of a memory access.
-pub fn loc_of(
-    func: &Function,
-    index: &HashMap<InstId, &InstKind>,
-    kind: &InstKind,
-) -> MemLoc {
+pub fn loc_of(func: &Function, index: &HashMap<InstId, &InstKind>, kind: &InstKind) -> MemLoc {
     match kind.address() {
         Some(ptr) => atomig_mir::loc::resolve_loc(func, index, ptr),
         None => MemLoc::Unknown,

@@ -45,24 +45,27 @@ pub fn lasagne_port(m: &mut Module) -> LasagneStats {
                 let shared = inst.kind.is_memory_access()
                     && escape.is_nonlocal(inst.kind.address().expect("access"));
                 if shared {
-                    out.push(Inst {
-                        id: InstId(next),
-                        kind: InstKind::Fence {
+                    out.push(Inst::with_span(
+                        InstId(next),
+                        InstKind::Fence {
                             ord: Ordering::SeqCst,
                         },
-                    });
+                        inst.span,
+                    ));
                     next += 1;
                     stats.fences_inserted += 1;
                 }
                 let was_write = inst.kind.may_write() && shared;
+                let span = inst.span;
                 out.push(inst);
                 if was_write {
-                    out.push(Inst {
-                        id: InstId(next),
-                        kind: InstKind::Fence {
+                    out.push(Inst::with_span(
+                        InstId(next),
+                        InstKind::Fence {
                             ord: Ordering::SeqCst,
                         },
-                    });
+                        span,
+                    ));
                     next += 1;
                     stats.fences_inserted += 1;
                 }

@@ -57,6 +57,7 @@ pub mod annotations;
 pub mod config;
 pub mod hints;
 pub mod lasagne;
+pub mod lint;
 pub mod naive;
 pub mod optimistic;
 pub mod pipeline;
@@ -67,6 +68,7 @@ pub mod transform;
 pub use alias::AliasMap;
 pub use config::{AtomigConfig, Stage};
 pub use lasagne::lasagne_port;
+pub use lint::{lint_module, Lint, LintReport, LintRule, Severity};
 pub use naive::naive_port;
 pub use optimistic::{detect_optimistic, OptimisticLoop};
 pub use pipeline::Pipeline;

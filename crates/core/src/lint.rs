@@ -1,0 +1,668 @@
+//! `atomig lint` — a static WMM-robustness audit.
+//!
+//! The porting pipeline (Figure 2) *rewrites* a module; this pass only
+//! *reads* one and reports, with MiniC source lines, where the module
+//! falls short of the transform's contract. It answers two questions
+//! without running the model checker:
+//!
+//! 1. **fence-placement** — re-runs the detection passes (annotations,
+//!    spinloops, optimistic loops, sticky-buddy expansion) as a dry run
+//!    and checks that every mark the pipeline *would* compute is already
+//!    realized in the module: spin/optimistic controls `seq_cst`, every
+//!    in-loop optimistic-control load fence-preceded, every store to an
+//!    optimistic location fence-followed, every sticky buddy `seq_cst`.
+//!    A module that just went through [`Pipeline::port_module`] verifies
+//!    clean by the transform's idempotence; the original module gets one
+//!    finding per missing upgrade, i.e. "the port would fix this here".
+//!
+//! 2. **shared-plain-access** — combines [`ThreadReach`] (which
+//!    functions can run on ≥2 threads), per-function [`EscapeInfo`], and
+//!    the [`AliasMap`] keys to find non-local locations reached from two
+//!    thread contexts where at least one access is a plain store — race
+//!    candidates the pipeline did *not* promote. A plain access is
+//!    exempt ("covered") when its enclosing function already contains
+//!    realized synchronization (a `seq_cst` access or fence), the
+//!    pragmatic heuristic for "guarded by a lock or flag the port made
+//!    SC". Coverage is per-function, not per-path, so it has known
+//!    false negatives (sync in an unrelated branch of the same function)
+//!    and false positives (sync in the caller); see DESIGN.md.
+//!
+//! Every finding carries the source span threaded through lowering, the
+//! alias key, and explanation notes saying *why* the pipeline did or
+//! did not promote the location (no spin-exit dependency, pointee-typed
+//! key with `pointee_buddies` off, …).
+//!
+//! [`Pipeline::port_module`]: crate::Pipeline::port_module
+//! [`ThreadReach`]: atomig_analysis::ThreadReach
+//! [`EscapeInfo`]: atomig_analysis::EscapeInfo
+//! [`AliasMap`]: crate::AliasMap
+
+use crate::alias::AliasMap;
+use crate::annotations::{loc_of, scan_annotations};
+use crate::config::{AtomigConfig, Stage};
+use crate::optimistic::detect_optimistic;
+use crate::spinloop::detect_spinloops;
+use atomig_analysis::{EscapeInfo, InfluenceAnalysis, ThreadReach};
+use atomig_mir::{FuncId, InstId, InstKind, MemLoc, Module, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
+
+/// The rules `atomig lint` checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintRule {
+    /// A non-local location reached from ≥2 thread contexts with at
+    /// least one plain store and an uncovered plain access.
+    SharedPlainAccess,
+    /// A mark the pipeline would compute that the module does not
+    /// realize (missing SC upgrade or missing explicit fence).
+    FencePlacement,
+}
+
+impl LintRule {
+    /// The kebab-case rule name used on the command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LintRule::SharedPlainAccess => "shared-plain-access",
+            LintRule::FencePlacement => "fence-placement",
+        }
+    }
+
+    /// Parses a rule name.
+    pub fn from_name(s: &str) -> Option<LintRule> {
+        Some(match s {
+            "shared-plain-access" => LintRule::SharedPlainAccess,
+            "fence-placement" => LintRule::FencePlacement,
+            _ => return None,
+        })
+    }
+
+    /// All rules, for "accepted values" error messages.
+    pub const ALL: &'static [LintRule] = &[LintRule::SharedPlainAccess, LintRule::FencePlacement];
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A generic race candidate.
+    Warning,
+    /// A participant in a detected synchronization pattern.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Which rule fired.
+    pub rule: LintRule,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Enclosing function name.
+    pub func: String,
+    /// The offending instruction.
+    pub inst: InstId,
+    /// The alias key of the access.
+    pub loc: MemLoc,
+    /// 1-based MiniC source line (`0` = unknown).
+    pub span: u32,
+    /// The one-line diagnosis.
+    pub message: String,
+    /// Explanation-engine notes: why the pipeline did / didn't promote.
+    pub notes: Vec<String>,
+    /// What to do about it.
+    pub suggestion: Option<String>,
+}
+
+/// The result of [`lint_module`].
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Module name (the diagnostics' "file").
+    pub module: String,
+    /// All findings, grouped by rule then source order.
+    pub lints: Vec<Lint>,
+    /// Functions audited.
+    pub funcs: usize,
+    /// Memory accesses audited.
+    pub accesses: usize,
+    /// Thread roots found (`main` + spawn targets).
+    pub thread_roots: usize,
+    /// Wall-clock time of the audit.
+    pub analysis_time: std::time::Duration,
+}
+
+impl LintReport {
+    /// Findings for one rule.
+    pub fn count(&self, rule: LintRule) -> usize {
+        self.lints.iter().filter(|l| l.rule == rule).count()
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.lints.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.lints {
+            if l.span != 0 {
+                write!(f, "{}.c:{}: ", self.module, l.span)?;
+            } else {
+                write!(f, "{}.c:?: ", self.module)?;
+            }
+            writeln!(
+                f,
+                "{}[{}]: {} (in @{})",
+                l.severity, l.rule, l.message, l.func
+            )?;
+            for n in &l.notes {
+                writeln!(f, "    note: {n}")?;
+            }
+            if let Some(s) = &l.suggestion {
+                writeln!(f, "    help: {s}")?;
+            }
+        }
+        writeln!(
+            f,
+            "{}: {} finding(s) in {} function(s), {} access(es), {} thread root(s), {:.1?}",
+            self.module,
+            self.lints.len(),
+            self.funcs,
+            self.accesses,
+            self.thread_roots,
+            self.analysis_time
+        )
+    }
+}
+
+/// Where a dry-run mark came from (for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MarkOrigin {
+    Annotation,
+    BarrierHint,
+    SpinControl,
+    OptimisticStore,
+    Buddy,
+}
+
+impl MarkOrigin {
+    fn describe(&self) -> &'static str {
+        match self {
+            MarkOrigin::Annotation => "explicitly annotated (atomic/volatile, §3.2)",
+            MarkOrigin::BarrierHint => "adjacent to a compiler barrier (§6 hint)",
+            MarkOrigin::SpinControl => "a spinloop exit depends on it (§3.3)",
+            MarkOrigin::OptimisticStore => "it writes an optimistic-loop control location (§3.3)",
+            MarkOrigin::Buddy => "sticky-buddy of a synchronization location (§3.4)",
+        }
+    }
+}
+
+/// The would-be marks of a pipeline dry run, plus enough provenance to
+/// explain each one.
+#[derive(Debug, Default)]
+struct DryRun {
+    sc: HashMap<FuncId, HashMap<InstId, MarkOrigin>>,
+    fence_before: HashMap<FuncId, HashSet<InstId>>,
+    fence_after: HashMap<FuncId, HashSet<InstId>>,
+    seed_locs: HashSet<MemLoc>,
+    optimistic_locs: HashSet<MemLoc>,
+    /// Locations participating in any detected pattern or seeded bucket.
+    pattern_locs: HashSet<MemLoc>,
+}
+
+impl DryRun {
+    fn mark_sc(&mut self, f: FuncId, i: InstId, origin: MarkOrigin) {
+        // First origin wins: pattern provenance reads better than "buddy".
+        self.sc.entry(f).or_default().entry(i).or_insert(origin);
+    }
+}
+
+/// Mirrors [`Pipeline::port_module`]'s detection passes without touching
+/// the module.
+///
+/// [`Pipeline::port_module`]: crate::Pipeline::port_module
+fn dry_run(m: &Module, config: &AtomigConfig) -> DryRun {
+    let mut d = DryRun::default();
+    if config.stage == Stage::Original {
+        return d;
+    }
+    let pointee = config.pointee_buddies;
+    let seedable = |l: &MemLoc| l.is_buddy_key() || (pointee && matches!(l, MemLoc::Pointee(_)));
+
+    for fid in m.func_ids() {
+        let func = m.func(fid);
+        let ann = scan_annotations(func, &config.volatile_blacklist);
+        for mk in ann.atomics.iter().chain(ann.volatiles.iter()) {
+            d.mark_sc(fid, mk.inst, MarkOrigin::Annotation);
+            if seedable(&mk.loc) {
+                d.seed_locs.insert(mk.loc.clone());
+            }
+        }
+        if config.compiler_barrier_hints {
+            for mk in crate::hints::barrier_adjacent_accesses(func) {
+                d.mark_sc(fid, mk.inst, MarkOrigin::BarrierHint);
+                if seedable(&mk.loc) {
+                    d.seed_locs.insert(mk.loc.clone());
+                }
+            }
+        }
+        if config.stage < Stage::Spin {
+            continue;
+        }
+        let inf = InfluenceAnalysis::new(func);
+        let spins = detect_spinloops(func, &inf);
+        for s in &spins {
+            for &c in &s.controls {
+                d.mark_sc(fid, c, MarkOrigin::SpinControl);
+            }
+            for l in &s.control_locs {
+                d.pattern_locs.insert(l.clone());
+                if seedable(l) {
+                    d.seed_locs.insert(l.clone());
+                }
+            }
+        }
+        if config.stage < Stage::Full {
+            continue;
+        }
+        let opts = detect_optimistic(func, &inf, &spins);
+        let index = func.inst_index();
+        for o in &opts {
+            for &c in &o.optimistic_controls {
+                if matches!(index.get(&c), Some(InstKind::Load { .. })) {
+                    d.fence_before.entry(fid).or_default().insert(c);
+                }
+            }
+            for l in &o.control_locs {
+                d.optimistic_locs.insert(l.clone());
+                d.pattern_locs.insert(l.clone());
+                if seedable(l) {
+                    d.seed_locs.insert(l.clone());
+                }
+            }
+        }
+    }
+
+    if config.alias_exploration {
+        let am = AliasMap::build(m, pointee);
+        for loc in &d.seed_locs.clone() {
+            d.pattern_locs.insert(loc.clone());
+            for &(f, i) in am.buddies(loc) {
+                d.mark_sc(f, i, MarkOrigin::Buddy);
+            }
+        }
+    }
+
+    if !d.optimistic_locs.is_empty() {
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            let index = func.inst_index();
+            for (_, inst) in func.insts() {
+                if !inst.kind.may_write() || !inst.kind.is_memory_access() {
+                    continue;
+                }
+                let loc = loc_of(func, &index, &inst.kind);
+                if d.optimistic_locs.contains(&loc) {
+                    d.fence_after.entry(fid).or_default().insert(inst.id);
+                    d.mark_sc(fid, inst.id, MarkOrigin::OptimisticStore);
+                }
+            }
+        }
+    }
+    d
+}
+
+/// One audited memory access.
+#[derive(Debug, Clone)]
+struct Access {
+    fid: FuncId,
+    inst: InstId,
+    span: u32,
+    write: bool,
+    plain: bool,
+}
+
+/// Audits `m` against the transform's contract and the race-candidate
+/// rule. `config` selects the stages mirrored by the dry run (use
+/// [`AtomigConfig::full`] for the complete audit).
+pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
+    let t0 = Instant::now();
+    let mut report = LintReport {
+        module: m.name.clone(),
+        funcs: m.funcs.len(),
+        ..LintReport::default()
+    };
+
+    let d = dry_run(m, config);
+    let reach = ThreadReach::new(m);
+    report.thread_roots = reach.roots.len();
+
+    let is_sc_fence = |k: &InstKind| {
+        matches!(
+            k,
+            InstKind::Fence {
+                ord: Ordering::SeqCst
+            }
+        )
+    };
+
+    // ---- Rule: fence-placement ----------------------------------------
+    // Every would-be mark must already be realized in the module.
+    let mut lints: Vec<Lint> = Vec::new();
+    for fid in m.func_ids() {
+        let func = m.func(fid);
+        let index = func.inst_index();
+        let empty_origin = HashMap::new();
+        let empty = HashSet::new();
+        let sc = d.sc.get(&fid).unwrap_or(&empty_origin);
+        let before = d.fence_before.get(&fid).unwrap_or(&empty);
+        let after = d.fence_after.get(&fid).unwrap_or(&empty);
+        if sc.is_empty() && before.is_empty() && after.is_empty() {
+            continue;
+        }
+        for b in &func.blocks {
+            for (pos, inst) in b.insts.iter().enumerate() {
+                let mut notes = Vec::new();
+                let mut missing: Vec<String> = Vec::new();
+                if let Some(origin) = sc.get(&inst.id) {
+                    if inst.kind.ordering() != Some(Ordering::SeqCst) {
+                        missing.push(format!(
+                            "access is {:?} but should be seq_cst",
+                            inst.kind.ordering().unwrap_or(Ordering::NotAtomic)
+                        ));
+                        notes.push(format!("marked because {}", origin.describe()));
+                    }
+                }
+                if before.contains(&inst.id) {
+                    let fenced = pos > 0 && is_sc_fence(&b.insts[pos - 1].kind);
+                    if !fenced {
+                        missing.push(
+                            "missing `fence seq_cst` before this optimistic-control load".into(),
+                        );
+                    }
+                }
+                if after.contains(&inst.id) {
+                    let fenced = b
+                        .insts
+                        .get(pos + 1)
+                        .map(|n| is_sc_fence(&n.kind))
+                        .unwrap_or(false);
+                    if !fenced {
+                        missing.push(
+                            "missing `fence seq_cst` after this store to an optimistic location"
+                                .into(),
+                        );
+                    }
+                }
+                if missing.is_empty() {
+                    continue;
+                }
+                let loc = loc_of(func, &index, &inst.kind);
+                lints.push(Lint {
+                    rule: LintRule::FencePlacement,
+                    severity: Severity::Error,
+                    func: func.name.clone(),
+                    inst: inst.id,
+                    loc,
+                    span: inst.span,
+                    message: missing.join("; "),
+                    notes,
+                    suggestion: Some("run `atomig port` to apply the missing upgrades".into()),
+                });
+            }
+        }
+    }
+
+    // ---- Rule: shared-plain-access -------------------------------------
+    // Group non-local accesses by alias key; flag keys reached from ≥2
+    // thread contexts with ≥1 plain store and an uncovered plain access.
+    let mut by_loc: HashMap<MemLoc, Vec<Access>> = HashMap::new();
+    let mut covered: HashMap<FuncId, bool> = HashMap::new();
+    for fid in m.func_ids() {
+        let func = m.func(fid);
+        let index = func.inst_index();
+        let escape = EscapeInfo::new(func);
+        let mut has_sync = false;
+        for (_, inst) in func.insts() {
+            if is_sc_fence(&inst.kind) || inst.kind.ordering() == Some(Ordering::SeqCst) {
+                has_sync = true;
+            }
+            if !inst.kind.is_memory_access() {
+                continue;
+            }
+            report.accesses += 1;
+            let Some(addr) = inst.kind.address() else {
+                continue;
+            };
+            if !escape.is_nonlocal(addr) {
+                continue;
+            }
+            let loc = loc_of(func, &index, &inst.kind);
+            if matches!(loc, MemLoc::Stack(_) | MemLoc::Unknown) {
+                // Stack keys are thread-private; Unknown keys are too
+                // imprecise to report without drowning real findings
+                // (documented false-negative source).
+                continue;
+            }
+            by_loc.entry(loc).or_default().push(Access {
+                fid,
+                inst: inst.id,
+                span: inst.span,
+                write: inst.kind.may_write(),
+                plain: inst.kind.ordering() == Some(Ordering::NotAtomic),
+            });
+        }
+        covered.insert(fid, has_sync);
+    }
+
+    let mut race_lints: Vec<Lint> = Vec::new();
+    for (loc, accesses) in &by_loc {
+        let mut roots: HashSet<FuncId> = HashSet::new();
+        for a in accesses {
+            roots.extend(reach.roots_reaching(a.fid));
+        }
+        if roots.len() < 2 {
+            continue;
+        }
+        if !accesses.iter().any(|a| a.plain && a.write) {
+            continue;
+        }
+        let pattern = d.pattern_locs.contains(loc);
+        for a in accesses {
+            if !a.plain || covered[&a.fid] {
+                continue;
+            }
+            let func = m.func(a.fid);
+            let mut notes = vec![format!(
+                "reached from {} thread context(s): {}",
+                roots.len(),
+                {
+                    let mut names: Vec<&str> =
+                        roots.iter().map(|&r| m.func(r).name.as_str()).collect();
+                    names.sort_unstable();
+                    names.join(", ")
+                }
+            )];
+            let mut suggestion = None;
+            if pattern {
+                notes.push(
+                    "this location participates in a detected synchronization pattern".into(),
+                );
+                suggestion = Some("run `atomig port` to promote it".into());
+            } else if matches!(loc, MemLoc::Pointee(_)) && !config.pointee_buddies {
+                notes.push(
+                    "alias key is a pointee-typed bucket; sticky-buddy expansion ignores it \
+                     unless `pointee_buddies` is enabled"
+                        .into(),
+                );
+            } else {
+                notes.push(
+                    "no spinloop or optimistic-loop exit depends on this location, so pattern \
+                     detection cannot promote it"
+                        .into(),
+                );
+                suggestion =
+                    Some("annotate the location `atomic`, or guard it with a detected lock".into());
+            }
+            race_lints.push(Lint {
+                rule: LintRule::SharedPlainAccess,
+                severity: if pattern {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                },
+                func: func.name.clone(),
+                inst: a.inst,
+                loc: loc.clone(),
+                span: a.span,
+                message: format!(
+                    "plain {} of a location shared between threads{}",
+                    if a.write { "store" } else { "load" },
+                    if accesses
+                        .iter()
+                        .any(|x| x.plain && x.write && x.fid != a.fid)
+                        || a.write
+                    {
+                        " (racing with a plain store)"
+                    } else {
+                        ""
+                    }
+                ),
+                notes,
+                suggestion,
+            });
+        }
+    }
+    // Deterministic order: rule, then function, then source position.
+    race_lints.sort_by(|a, b| {
+        (a.func.as_str(), a.span, a.inst.0).cmp(&(b.func.as_str(), b.span, b.inst.0))
+    });
+    lints.sort_by(|a, b| {
+        (a.func.as_str(), a.span, a.inst.0).cmp(&(b.func.as_str(), b.span, b.inst.0))
+    });
+    lints.extend(race_lints);
+
+    report.lints = lints;
+    report.analysis_time = t0.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+    use atomig_frontc::compile;
+
+    const MP: &str = r#"
+        int flag;
+        int msg;
+        void writer(long a) {
+          msg = 1;
+          flag = 1;
+        }
+        int main() {
+          long t = spawn(writer, 0);
+          while (flag != 1) {}
+          int m = msg;
+          join(t);
+          return m;
+        }
+    "#;
+
+    #[test]
+    fn original_mp_is_flagged_and_ported_is_clean() {
+        let m = compile(MP, "mp").unwrap();
+        let cfg = AtomigConfig::full();
+        let r = lint_module(&m, &cfg);
+        assert!(
+            r.count(LintRule::FencePlacement) >= 1,
+            "spin control not SC yet:\n{r}"
+        );
+        // The writer's flag store is a sticky buddy of the spin control;
+        // writer has no sync of its own, so the msg store is a candidate
+        // only until the port covers it.
+        let mut ported = m.clone();
+        let mut pcfg = cfg.clone();
+        pcfg.inline = false;
+        Pipeline::new(pcfg).port_module(&mut ported);
+        let r2 = lint_module(&ported, &cfg);
+        assert!(r2.is_clean(), "ported module must audit clean:\n{r2}");
+    }
+
+    #[test]
+    fn naked_race_is_a_warning_even_after_port() {
+        let src = r#"
+            int counter;
+            void worker(long a) { counter = counter + 1; }
+            int main() {
+              long t = spawn(worker, 0);
+              counter = counter + 1;
+              join(t);
+              return counter;
+            }
+        "#;
+        let m = compile(src, "race").unwrap();
+        let cfg = AtomigConfig::full();
+        let r = lint_module(&m, &cfg);
+        assert!(r.count(LintRule::SharedPlainAccess) >= 2, "{r}");
+        assert!(
+            r.lints.iter().all(|l| l.severity == Severity::Warning),
+            "no pattern involved:\n{r}"
+        );
+        // No synchronization pattern exists, so the port cannot fix it
+        // and lint keeps warning — that's the point of the rule.
+        let mut ported = m.clone();
+        let mut pcfg = cfg.clone();
+        pcfg.inline = false;
+        Pipeline::new(pcfg).port_module(&mut ported);
+        let r2 = lint_module(&ported, &cfg);
+        assert!(r2.count(LintRule::SharedPlainAccess) >= 2, "{r2}");
+    }
+
+    #[test]
+    fn single_threaded_module_is_clean() {
+        let src = r#"
+            int x;
+            void bump() { x = x + 1; }
+            int main() { bump(); bump(); return x; }
+        "#;
+        let m = compile(src, "seq").unwrap();
+        let r = lint_module(&m, &AtomigConfig::full());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn findings_carry_source_spans() {
+        let m = compile(MP, "mp").unwrap();
+        let r = lint_module(&m, &AtomigConfig::full());
+        assert!(!r.lints.is_empty());
+        for l in &r.lints {
+            assert_ne!(l.span, 0, "finding without a span: {l:?}");
+        }
+        let text = r.to_string();
+        assert!(text.contains("mp.c:"), "{text}");
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in LintRule::ALL {
+            assert_eq!(LintRule::from_name(r.name()), Some(*r));
+        }
+        assert_eq!(LintRule::from_name("nonsense"), None);
+    }
+}

@@ -7,8 +7,8 @@
 
 use crate::annotations::loc_of;
 use crate::spinloop::SpinLoopInfo;
-use atomig_mir::{Function, InstId, InstKind, MemLoc};
 use atomig_analysis::InfluenceAnalysis;
+use atomig_mir::{Function, InstId, InstKind, MemLoc};
 use std::collections::HashSet;
 
 /// A spinloop classified as optimistic.
@@ -330,7 +330,10 @@ mod tests {
         let spins = detect_spinloops(f, &inf);
         let opts = detect_optimistic(f, &inf, &spins);
         assert_eq!(opts.len(), 1);
-        assert_eq!(opts[0].optimistic_controls, spins[opts[0].spin_index].controls);
+        assert_eq!(
+            opts[0].optimistic_controls,
+            spins[opts[0].spin_index].controls
+        );
         assert!(!opts[0].optimistic_reads.is_empty());
     }
 }

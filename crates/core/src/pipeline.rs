@@ -162,11 +162,7 @@ impl Pipeline {
             report.seed_locations = seed_locs.len();
             for loc in &seed_locs {
                 for &(f, i) in am.buddies(loc) {
-                    let newly = marks
-                        .sc_marks
-                        .entry(f)
-                        .or_default()
-                        .insert(i);
+                    let newly = marks.sc_marks.entry(f).or_default().insert(i);
                     if newly {
                         report.buddy_marks += 1;
                     }
@@ -339,8 +335,13 @@ mod tests {
         let insts = &writer.blocks[0].insts;
         let mut saw_store_fence = 0;
         for w in insts.windows(2) {
-            if matches!(&w[0].kind, InstKind::Store { ord: Ordering::SeqCst, .. })
-                && matches!(&w[1].kind, InstKind::Fence { .. })
+            if matches!(
+                &w[0].kind,
+                InstKind::Store {
+                    ord: Ordering::SeqCst,
+                    ..
+                }
+            ) && matches!(&w[1].kind, InstKind::Fence { .. })
             {
                 saw_store_fence += 1;
             }
@@ -557,7 +558,6 @@ mod extension_tests {
             }
         }
         use atomig_mir::{Ordering, Value};
-        assert!(orderings
-            .contains(&(Value::Global(mmio), Ordering::NotAtomic)));
+        assert!(orderings.contains(&(Value::Global(mmio), Ordering::NotAtomic)));
     }
 }

@@ -69,8 +69,14 @@ pub fn apply(m: &mut Module, marks: &MarkSet) -> TransformStats {
         }
         let func = m.func_mut(fid);
         let mut next = func.next_inst;
-        let is_sc_fence =
-            |i: &Inst| matches!(i.kind, InstKind::Fence { ord: Ordering::SeqCst });
+        let is_sc_fence = |i: &Inst| {
+            matches!(
+                i.kind,
+                InstKind::Fence {
+                    ord: Ordering::SeqCst
+                }
+            )
+        };
         for block in &mut func.blocks {
             let old = std::mem::take(&mut block.insts);
             let mut new_insts: Vec<Inst> = Vec::with_capacity(old.len());
@@ -81,12 +87,13 @@ pub fn apply(m: &mut Module, marks: &MarkSet) -> TransformStats {
                 // adjacent (e.g. from a previous run of the pipeline).
                 let already_before = new_insts.last().map(is_sc_fence).unwrap_or(false);
                 if before.contains(&inst.id) && !already_before {
-                    new_insts.push(Inst {
-                        id: InstId(next),
-                        kind: InstKind::Fence {
+                    new_insts.push(Inst::with_span(
+                        InstId(next),
+                        InstKind::Fence {
                             ord: Ordering::SeqCst,
                         },
-                    });
+                        inst.span,
+                    ));
                     next += 1;
                     stats.fences_inserted += 1;
                 }
@@ -99,17 +106,18 @@ pub fn apply(m: &mut Module, marks: &MarkSet) -> TransformStats {
                         stats.sc_upgraded += 1;
                     }
                 }
-                let followed_by_fence =
-                    old.get(pos + 1).map(is_sc_fence).unwrap_or(false);
+                let followed_by_fence = old.get(pos + 1).map(is_sc_fence).unwrap_or(false);
                 let fence_here = after.contains(&inst.id) && !followed_by_fence;
+                let span = inst.span;
                 new_insts.push(inst);
                 if fence_here {
-                    new_insts.push(Inst {
-                        id: InstId(next),
-                        kind: InstKind::Fence {
+                    new_insts.push(Inst::with_span(
+                        InstId(next),
+                        InstKind::Fence {
                             ord: Ordering::SeqCst,
                         },
-                    });
+                        span,
+                    ));
                     next += 1;
                     stats.fences_inserted += 1;
                 }

@@ -38,7 +38,10 @@ pub fn classify(text: &str) -> AsmIdiom {
         "" => AsmIdiom::CompilerBarrier,
         "mfence" | "sfence" | "lfence" => AsmIdiom::FullFence,
         "pause" | "rep; nop" | "rep ; nop" | "rep nop" => AsmIdiom::Pause,
-        s if s.starts_with("lock; addl $0") || s.starts_with("lock ; addl $0") || s.starts_with("lock addl $0") => {
+        s if s.starts_with("lock; addl $0")
+            || s.starts_with("lock ; addl $0")
+            || s.starts_with("lock addl $0") =>
+        {
             AsmIdiom::FullFence
         }
         s => AsmIdiom::Unsupported(s.to_string()),

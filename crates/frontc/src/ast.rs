@@ -180,9 +180,31 @@ pub enum Expr {
     },
 }
 
-/// Statements.
+/// A statement together with the 1-based source line it starts on
+/// (`0` = unknown, e.g. synthesized nodes).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Stmt {
+pub struct Stmt {
+    /// 1-based source line of the statement's first token.
+    pub line: u32,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// Wraps `kind` with an unknown source line.
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt { line: 0, kind }
+    }
+
+    /// Wraps `kind` with a source line.
+    pub fn at(line: u32, kind: StmtKind) -> Stmt {
+        Stmt { line, kind }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
     /// Local declaration with optional initializer.
     Decl {
         /// Declared type.

@@ -45,8 +45,8 @@ pub struct Token {
 const PUNCTS: &[&str] = &[
     // Longest first.
     "<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
-    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-",
-    "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
+    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "+", "-", "*",
+    "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", "?", ":",
 ];
 
 /// Tokenizes MiniC source. `//` and `/* */` comments are skipped.
@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn int_suffixes_ignored() {
-        assert_eq!(kinds("10UL 3L"), vec![TokenKind::Int(10), TokenKind::Int(3)]);
+        assert_eq!(
+            kinds("10UL 3L"),
+            vec![TokenKind::Int(10), TokenKind::Int(3)]
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 
-pub use ast::{BinaryOp, Expr, Item, Program, Stmt, UnaryOp};
+pub use ast::{BinaryOp, Expr, Item, Program, Stmt, StmtKind, UnaryOp};
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use lower::{lower, LowerError};
 pub use parser::{parse, ParseError};

@@ -138,7 +138,11 @@ impl Cx {
                     ));
                     cx.funcs.insert(
                         name.clone(),
-                        (fid, ret.clone(), params.iter().map(|(t, _)| t.clone()).collect()),
+                        (
+                            fid,
+                            ret.clone(),
+                            params.iter().map(|(t, _)| t.clone()).collect(),
+                        ),
                     );
                 }
                 Item::Struct { .. } => {}
@@ -269,8 +273,11 @@ impl<'c> FnLower<'c> {
             // so labels resolve, but simplest is to skip it.
             return Ok(());
         }
-        match s {
-            Stmt::Decl {
+        if s.line != 0 {
+            self.b.set_line(s.line);
+        }
+        match &s.kind {
+            StmtKind::Decl {
                 ty,
                 quals,
                 name,
@@ -278,17 +285,14 @@ impl<'c> FnLower<'c> {
             } => {
                 let mty = self.cx.mir_type(ty)?;
                 let slot = self.b.alloca(mty, name.clone());
-                self.scopes
-                    .last_mut()
-                    .expect("scope")
-                    .insert(
-                        name.clone(),
-                        LocalVar {
-                            addr: slot,
-                            ty: ty.clone(),
-                            quals: *quals,
-                        },
-                    );
+                self.scopes.last_mut().expect("scope").insert(
+                    name.clone(),
+                    LocalVar {
+                        addr: slot,
+                        ty: ty.clone(),
+                        quals: *quals,
+                    },
+                );
                 if let Some(e) = init {
                     let rv = self.rvalue(e)?;
                     let sty = self.cx.mir_type(ty)?;
@@ -296,11 +300,11 @@ impl<'c> FnLower<'c> {
                 }
                 Ok(())
             }
-            Stmt::Expr(e) => {
+            StmtKind::Expr(e) => {
                 self.rvalue(e)?;
                 Ok(())
             }
-            Stmt::Block(stmts) => {
+            StmtKind::Block(stmts) => {
                 self.scopes.push(HashMap::new());
                 for s in stmts {
                     self.stmt(s)?;
@@ -308,7 +312,7 @@ impl<'c> FnLower<'c> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::If {
+            StmtKind::If {
                 cond,
                 then_s,
                 else_s,
@@ -333,7 +337,7 @@ impl<'c> FnLower<'c> {
                 self.b.switch_to(end_bb);
                 Ok(())
             }
-            Stmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 let header = self.b.new_block("while.header");
                 let body_bb = self.b.new_block("while.body");
                 let end_bb = self.b.new_block("while.end");
@@ -351,7 +355,7 @@ impl<'c> FnLower<'c> {
                 self.b.switch_to(end_bb);
                 Ok(())
             }
-            Stmt::DoWhile { body, cond } => {
+            StmtKind::DoWhile { body, cond } => {
                 let body_bb = self.b.new_block("do.body");
                 let latch = self.b.new_block("do.latch");
                 let end_bb = self.b.new_block("do.end");
@@ -369,7 +373,7 @@ impl<'c> FnLower<'c> {
                 self.b.switch_to(end_bb);
                 Ok(())
             }
-            Stmt::For {
+            StmtKind::For {
                 init,
                 cond,
                 step,
@@ -408,7 +412,7 @@ impl<'c> FnLower<'c> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::Return(e) => {
+            StmtKind::Return(e) => {
                 match (e, &self.ret) {
                     (None, CType::Void) => self.b.ret(None),
                     (None, _) => return err("missing return value"),
@@ -423,14 +427,14 @@ impl<'c> FnLower<'c> {
                 }
                 Ok(())
             }
-            Stmt::Break => match self.loops.last() {
+            StmtKind::Break => match self.loops.last() {
                 Some(&(_, brk)) => {
                     self.b.br(brk);
                     Ok(())
                 }
                 None => err("break outside a loop"),
             },
-            Stmt::Continue => match self.loops.last() {
+            StmtKind::Continue => match self.loops.last() {
                 Some(&(cont, _)) => {
                     self.b.br(cont);
                     Ok(())
@@ -552,9 +556,12 @@ impl<'c> FnLower<'c> {
     /// indexing to distinguish arrays from pointers).
     fn base_address(&mut self, e: &Expr) -> Result<LV, LowerError> {
         match e {
-            Expr::Ident(_) | Expr::Member { .. } | Expr::Index { .. } | Expr::Unary { op: UnaryOp::Deref, .. } => {
-                self.lvalue(e)
-            }
+            Expr::Ident(_)
+            | Expr::Member { .. }
+            | Expr::Index { .. }
+            | Expr::Unary {
+                op: UnaryOp::Deref, ..
+            } => self.lvalue(e),
             other => {
                 // A computed pointer value.
                 let rv = self.rvalue(other)?;
@@ -668,9 +675,7 @@ impl<'c> FnLower<'c> {
             Expr::Unary { op, operand } => match op {
                 UnaryOp::Neg => {
                     let rv = self.rvalue(operand)?;
-                    let v = self
-                        .b
-                        .bin(atomig_mir::BinOp::Sub, Value::Const(0), rv.val);
+                    let v = self.b.bin(atomig_mir::BinOp::Sub, Value::Const(0), rv.val);
                     Ok(RV { val: v, ty: rv.ty })
                 }
                 UnaryOp::Not => {
@@ -684,9 +689,7 @@ impl<'c> FnLower<'c> {
                 }
                 UnaryOp::BitNot => {
                     let rv = self.rvalue(operand)?;
-                    let v = self
-                        .b
-                        .bin(atomig_mir::BinOp::Xor, rv.val, Value::Const(-1));
+                    let v = self.b.bin(atomig_mir::BinOp::Xor, rv.val, Value::Const(-1));
                     Ok(RV { val: v, ty: rv.ty })
                 }
                 UnaryOp::Deref => {
@@ -961,10 +964,7 @@ impl<'c> FnLower<'c> {
                 let v = self.rvalue(&args[1])?;
                 let mty = self.cx.mir_type(&ty)?;
                 self.b.store_ord(mty, p, v.val, ord, false);
-                Ok(RV {
-                    val: v.val,
-                    ty,
-                })
+                Ok(RV { val: v.val, ty })
             }
             "cmpxchg" | "cmpxchg_explicit" => {
                 let ord = if name.ends_with("explicit") {
@@ -981,8 +981,8 @@ impl<'c> FnLower<'c> {
                 let old = self.b.cmpxchg(mty, p, e.val, n.val, ord);
                 Ok(RV { val: old, ty })
             }
-            "xchg" | "xchg_explicit" | "faa" | "faa_explicit" | "fas" | "fas_explicit"
-            | "fand" | "for_" | "fxor" => {
+            "xchg" | "xchg_explicit" | "faa" | "faa_explicit" | "fas" | "fas_explicit" | "fand"
+            | "for_" | "fxor" => {
                 let (op, base_args) = match name.trim_end_matches("_explicit") {
                     "xchg" => (RmwOp::Xchg, 2),
                     "faa" => (RmwOp::Add, 2),
@@ -1055,9 +1055,7 @@ impl<'c> FnLower<'c> {
             "malloc" => {
                 need(1)?;
                 let a = self.rvalue(&args[0])?;
-                let v = self
-                    .b
-                    .call_builtin(Builtin::Malloc, vec![a.val], Type::I64);
+                let v = self.b.call_builtin(Builtin::Malloc, vec![a.val], Type::I64);
                 Ok(RV {
                     val: v,
                     ty: CType::Long,
@@ -1196,9 +1194,7 @@ mod tests {
         for (_, i) in f.insts() {
             match &i.kind {
                 InstKind::Cmpxchg { ord, .. } => kinds.push(format!("cmpxchg:{ord}")),
-                InstKind::Rmw { op, ord, .. } => {
-                    kinds.push(format!("rmw:{}:{ord}", op.mnemonic()))
-                }
+                InstKind::Rmw { op, ord, .. } => kinds.push(format!("rmw:{}:{ord}", op.mnemonic())),
                 InstKind::Store { ord, .. } if ord.is_atomic() => {
                     kinds.push(format!("store:{ord}"))
                 }

@@ -126,43 +126,43 @@ impl<'t> Parser<'t> {
         let mut base: Option<CType> = None;
         while let Some(TokenKind::Ident(s)) = self.peek() {
             match s.as_str() {
-                    "volatile" => {
-                        quals.volatile = true;
-                        self.pos += 1;
+                "volatile" => {
+                    quals.volatile = true;
+                    self.pos += 1;
+                }
+                "atomic" | "_Atomic" => {
+                    quals.atomic = true;
+                    self.pos += 1;
+                }
+                "const" | "static" | "unsigned" | "signed" => {
+                    self.pos += 1;
+                }
+                "void" if base.is_none() => {
+                    base = Some(CType::Void);
+                    self.pos += 1;
+                }
+                "char" if base.is_none() => {
+                    base = Some(CType::Char);
+                    self.pos += 1;
+                }
+                "short" if base.is_none() => {
+                    base = Some(CType::Short);
+                    self.pos += 1;
+                }
+                "int" => {
+                    // `long int`, `short int` collapse.
+                    if base.is_none() {
+                        base = Some(CType::Int);
                     }
-                    "atomic" | "_Atomic" => {
-                        quals.atomic = true;
-                        self.pos += 1;
-                    }
-                    "const" | "static" | "unsigned" | "signed" => {
-                        self.pos += 1;
-                    }
-                    "void" if base.is_none() => {
-                        base = Some(CType::Void);
-                        self.pos += 1;
-                    }
-                    "char" if base.is_none() => {
-                        base = Some(CType::Char);
-                        self.pos += 1;
-                    }
-                    "short" if base.is_none() => {
-                        base = Some(CType::Short);
-                        self.pos += 1;
-                    }
-                    "int" => {
-                        // `long int`, `short int` collapse.
-                        if base.is_none() {
-                            base = Some(CType::Int);
-                        }
-                        self.pos += 1;
-                    }
-                    "long" if base.is_none() => {
-                        base = Some(CType::Long);
-                        self.pos += 1;
-                    }
-                    "long" => {
-                        self.pos += 1; // `long long`
-                    }
+                    self.pos += 1;
+                }
+                "long" if base.is_none() => {
+                    base = Some(CType::Long);
+                    self.pos += 1;
+                }
+                "long" => {
+                    self.pos += 1; // `long long`
+                }
                 "struct" if base.is_none() => {
                     self.pos += 1;
                     let name = self.ident()?;
@@ -208,8 +208,7 @@ impl<'t> Parser<'t> {
             self.expect_punct("(")?;
             let mut params = Vec::new();
             if !self.eat_punct(")") {
-                if self.is_ident("void") && matches!(self.peek_at(1), Some(TokenKind::Punct(")")))
-                {
+                if self.is_ident("void") && matches!(self.peek_at(1), Some(TokenKind::Punct(")"))) {
                     self.pos += 1;
                     self.expect_punct(")")?;
                 } else {
@@ -289,12 +288,13 @@ impl<'t> Parser<'t> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
         if self.eat_punct("{") {
             let mut stmts = Vec::new();
             while !self.eat_punct("}") {
                 stmts.push(self.stmt()?);
             }
-            return Ok(Stmt::Block(stmts));
+            return Ok(Stmt::at(line, StmtKind::Block(stmts)));
         }
         if self.eat_ident("if") {
             self.expect_punct("(")?;
@@ -306,20 +306,30 @@ impl<'t> Parser<'t> {
             } else {
                 None
             };
-            return Ok(Stmt::If { cond, then_s, else_s });
+            return Ok(Stmt::at(
+                line,
+                StmtKind::If {
+                    cond,
+                    then_s,
+                    else_s,
+                },
+            ));
         }
         if self.eat_ident("while") {
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
             if self.eat_punct(";") {
-                return Ok(Stmt::While {
-                    cond,
-                    body: Box::new(Stmt::Block(vec![])),
-                });
+                return Ok(Stmt::at(
+                    line,
+                    StmtKind::While {
+                        cond,
+                        body: Box::new(Stmt::at(line, StmtKind::Block(vec![]))),
+                    },
+                ));
             }
             let body = Box::new(self.stmt()?);
-            return Ok(Stmt::While { cond, body });
+            return Ok(Stmt::at(line, StmtKind::While { cond, body }));
         }
         if self.eat_ident("do") {
             let body = Box::new(self.stmt()?);
@@ -330,7 +340,7 @@ impl<'t> Parser<'t> {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
-            return Ok(Stmt::DoWhile { body, cond });
+            return Ok(Stmt::at(line, StmtKind::DoWhile { body, cond }));
         }
         if self.eat_ident("for") {
             self.expect_punct("(")?;
@@ -342,7 +352,7 @@ impl<'t> Parser<'t> {
             } else {
                 let e = self.expr()?;
                 self.expect_punct(";")?;
-                Some(Box::new(Stmt::Expr(e)))
+                Some(Box::new(Stmt::at(line, StmtKind::Expr(e))))
             };
             let cond = if self.is_punct(";") {
                 None
@@ -357,42 +367,46 @@ impl<'t> Parser<'t> {
             };
             self.expect_punct(")")?;
             let body = if self.eat_punct(";") {
-                Box::new(Stmt::Block(vec![]))
+                Box::new(Stmt::at(line, StmtKind::Block(vec![])))
             } else {
                 Box::new(self.stmt()?)
             };
-            return Ok(Stmt::For {
-                init,
-                cond,
-                step,
-                body,
-            });
+            return Ok(Stmt::at(
+                line,
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                },
+            ));
         }
         if self.eat_ident("return") {
             if self.eat_punct(";") {
-                return Ok(Stmt::Return(None));
+                return Ok(Stmt::at(line, StmtKind::Return(None)));
             }
             let e = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Return(Some(e)));
+            return Ok(Stmt::at(line, StmtKind::Return(Some(e))));
         }
         if self.eat_ident("break") {
             self.expect_punct(";")?;
-            return Ok(Stmt::Break);
+            return Ok(Stmt::at(line, StmtKind::Break));
         }
         if self.eat_ident("continue") {
             self.expect_punct(";")?;
-            return Ok(Stmt::Continue);
+            return Ok(Stmt::at(line, StmtKind::Continue));
         }
         if self.starts_type() {
             return self.decl_stmt();
         }
         let e = self.expr()?;
         self.expect_punct(";")?;
-        Ok(Stmt::Expr(e))
+        Ok(Stmt::at(line, StmtKind::Expr(e)))
     }
 
     fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
         let (ty, quals) = self.type_and_quals()?;
         let name = self.ident()?;
         let ty = self.array_dims(ty)?;
@@ -402,12 +416,15 @@ impl<'t> Parser<'t> {
             None
         };
         self.expect_punct(";")?;
-        Ok(Stmt::Decl {
-            ty,
-            quals,
-            name,
-            init,
-        })
+        Ok(Stmt::at(
+            line,
+            StmtKind::Decl {
+                ty,
+                quals,
+                name,
+                init,
+            },
+        ))
     }
 
     // ---- expressions, precedence climbing ----
@@ -694,7 +711,9 @@ mod tests {
         );
         assert_eq!(p.items.len(), 3);
         match &p.items[0] {
-            Item::Global { quals, name, init, .. } => {
+            Item::Global {
+                quals, name, init, ..
+            } => {
                 assert!(quals.volatile);
                 assert_eq!(name, "flag");
                 assert_eq!(init, &vec![0]);
@@ -729,8 +748,8 @@ mod tests {
         match &p.items[1] {
             Item::Function { body, .. } => {
                 assert!(matches!(
-                    &body[0],
-                    Stmt::Return(Some(Expr::Member { arrow: true, .. }))
+                    &body[0].kind,
+                    StmtKind::Return(Some(Expr::Member { arrow: true, .. }))
                 ));
             }
             other => panic!("expected function, got {other:?}"),
@@ -742,9 +761,19 @@ mod tests {
         let p = parse_src("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }");
         // ((1 + (2*3)) == 7) && (4 < 5)
         match &p.items[0] {
-            Item::Function { body, .. } => match &body[0] {
-                Stmt::Return(Some(Expr::Binary { op: BinaryOp::LAnd, lhs, .. })) => {
-                    assert!(matches!(**lhs, Expr::Binary { op: BinaryOp::Eq, .. }));
+            Item::Function { body, .. } => match &body[0].kind {
+                StmtKind::Return(Some(Expr::Binary {
+                    op: BinaryOp::LAnd,
+                    lhs,
+                    ..
+                })) => {
+                    assert!(matches!(
+                        **lhs,
+                        Expr::Binary {
+                            op: BinaryOp::Eq,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -799,8 +828,8 @@ mod tests {
         match &p.items[0] {
             Item::Function { body, .. } => {
                 assert_eq!(body.len(), 2);
-                assert!(matches!(&body[0], Stmt::Expr(Expr::Asm(s)) if s == "mfence"));
-                assert!(matches!(&body[1], Stmt::Expr(Expr::Asm(s)) if s == "pause"));
+                assert!(matches!(&body[0].kind, StmtKind::Expr(Expr::Asm(s)) if s == "mfence"));
+                assert!(matches!(&body[1].kind, StmtKind::Expr(Expr::Asm(s)) if s == "pause"));
             }
             _ => unreachable!(),
         }
@@ -811,7 +840,10 @@ mod tests {
         let p = parse_src("long f(int x) { return (long)x > 0 ? x : -x; }");
         match &p.items[0] {
             Item::Function { body, .. } => {
-                assert!(matches!(&body[0], Stmt::Return(Some(Expr::Ternary { .. }))));
+                assert!(matches!(
+                    &body[0].kind,
+                    StmtKind::Return(Some(Expr::Ternary { .. }))
+                ));
             }
             _ => unreachable!(),
         }
@@ -824,8 +856,8 @@ mod tests {
             Item::Function { params, body, .. } => {
                 assert_eq!(params[0].0, CType::Int.ptr());
                 assert!(matches!(
-                    &body[0],
-                    Stmt::Expr(Expr::Assign { lhs, .. })
+                    &body[0].kind,
+                    StmtKind::Expr(Expr::Assign { lhs, .. })
                         if matches!(**lhs, Expr::Unary { op: UnaryOp::Deref, .. })
                 ));
             }

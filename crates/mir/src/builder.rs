@@ -30,6 +30,7 @@ use crate::value::Value;
 pub struct FunctionBuilder {
     func: Function,
     current: BlockId,
+    cur_line: u32,
 }
 
 impl FunctionBuilder {
@@ -39,7 +40,14 @@ impl FunctionBuilder {
         FunctionBuilder {
             func,
             current: BlockId(0),
+            cur_line: 0,
         }
+    }
+
+    /// Sets the source line stamped onto subsequently pushed instructions
+    /// (`0` = unknown). Lowering calls this at each statement boundary.
+    pub fn set_line(&mut self, line: u32) {
+        self.cur_line = line;
     }
 
     /// The block instructions are currently appended to.
@@ -62,21 +70,17 @@ impl FunctionBuilder {
 
     /// Appends an instruction of `kind`, returning its result value.
     pub fn push(&mut self, kind: InstKind) -> Value {
-        let id = self.func.fresh_inst_id();
-        self.func
-            .block_mut(self.current)
-            .insts
-            .push(Inst { id, kind });
-        Value::Inst(id)
+        Value::Inst(self.push_id(kind))
     }
 
     /// Appends an instruction, returning the raw [`InstId`].
     pub fn push_id(&mut self, kind: InstKind) -> InstId {
         let id = self.func.fresh_inst_id();
+        let span = self.cur_line;
         self.func
             .block_mut(self.current)
             .insts
-            .push(Inst { id, kind });
+            .push(Inst::with_span(id, kind, span));
         id
     }
 
@@ -275,7 +279,8 @@ mod tests {
 
     #[test]
     fn field_addr_emits_two_const_indices() {
-        let mut b = FunctionBuilder::new("f", vec![("p".into(), Type::ptr_to(Type::I64))], Type::Void);
+        let mut b =
+            FunctionBuilder::new("f", vec![("p".into(), Type::ptr_to(Type::I64))], Type::Void);
         let addr = b.field_addr(Type::I64, Value::Param(0), 2);
         b.ret(None);
         let f = b.finish();

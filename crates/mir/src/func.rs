@@ -152,25 +152,25 @@ mod tests {
         let mut f = Function::new("f", vec![("x".into(), Type::ptr_to(Type::I32))], Type::Void);
         let id0 = f.fresh_inst_id();
         let id1 = f.fresh_inst_id();
-        f.block_mut(BlockId(0)).insts.push(Inst {
-            id: id0,
-            kind: InstKind::Load {
+        f.block_mut(BlockId(0)).insts.push(Inst::new(
+            id0,
+            InstKind::Load {
                 ptr: Value::Param(0),
                 ty: Type::I32,
                 ord: Ordering::NotAtomic,
                 volatile: false,
             },
-        });
-        f.block_mut(BlockId(0)).insts.push(Inst {
-            id: id1,
-            kind: InstKind::Store {
+        ));
+        f.block_mut(BlockId(0)).insts.push(Inst::new(
+            id1,
+            InstKind::Store {
                 ptr: Value::Param(0),
                 val: Value::Inst(id0),
                 ty: Type::I32,
                 ord: Ordering::NotAtomic,
                 volatile: false,
             },
-        });
+        ));
         f.block_mut(BlockId(0)).term = Terminator::Ret(None);
         f
     }

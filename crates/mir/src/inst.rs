@@ -36,12 +36,18 @@ impl Ordering {
 
     /// Returns `true` if the ordering has acquire semantics on loads.
     pub fn has_acquire(&self) -> bool {
-        matches!(self, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+        matches!(
+            self,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
     }
 
     /// Returns `true` if the ordering has release semantics on stores.
     pub fn has_release(&self) -> bool {
-        matches!(self, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+        matches!(
+            self,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
     }
 
     /// Parses the textual suffix used by the printer (`seq_cst`, `acq`, ...).
@@ -517,7 +523,7 @@ impl InstKind {
             | InstKind::Cmpxchg { ord, .. }
             | InstKind::Rmw { ord, .. }
             | InstKind::Fence { ord } => Some(*ord),
-        _ => None,
+            _ => None,
         }
     }
 
@@ -530,9 +536,10 @@ impl InstKind {
             | InstKind::Cmpxchg { ord, .. }
             | InstKind::Rmw { ord, .. }
             | InstKind::Fence { ord }
-                if new_ord > *ord => {
-                    *ord = new_ord;
-                }
+                if new_ord > *ord =>
+            {
+                *ord = new_ord;
+            }
             _ => {}
         }
     }
@@ -577,6 +584,23 @@ pub struct Inst {
     pub id: InstId,
     /// What the instruction does.
     pub kind: InstKind,
+    /// Source line this instruction was lowered from (1-based MiniC line;
+    /// `0` = unknown/synthesized). Printed as a ` !N` suffix and carried
+    /// through inlining and transformation so diagnostics can point at
+    /// source.
+    pub span: u32,
+}
+
+impl Inst {
+    /// An instruction with no source span.
+    pub fn new(id: InstId, kind: InstKind) -> Inst {
+        Inst { id, kind, span: 0 }
+    }
+
+    /// An instruction annotated with a source line.
+    pub fn with_span(id: InstId, kind: InstKind, span: u32) -> Inst {
+        Inst { id, kind, span }
+    }
 }
 
 /// Block terminators.
@@ -604,7 +628,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br(b) => vec![*b],
-            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) | Terminator::Unreachable => vec![],
         }
     }
@@ -622,7 +648,9 @@ impl Terminator {
     pub fn remap_blocks(&mut self, map: &dyn Fn(BlockId) -> BlockId) {
         match self {
             Terminator::Br(b) => *b = map(*b),
-            Terminator::CondBr { then_bb, else_bb, .. } => {
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = map(*then_bb);
                 *else_bb = map(*else_bb);
             }
@@ -699,7 +727,9 @@ mod tests {
         assert!(load.is_memory_access());
         assert!(load.may_read());
         assert!(!load.may_write());
-        let fence = InstKind::Fence { ord: Ordering::SeqCst };
+        let fence = InstKind::Fence {
+            ord: Ordering::SeqCst,
+        };
         assert!(!fence.is_memory_access());
         let rmw = InstKind::Rmw {
             op: RmwOp::Add,

@@ -73,11 +73,7 @@ impl fmt::Display for MemLoc {
 ///
 /// Walks back through GEPs and casts. `inst_index` must be
 /// [`Function::inst_index`] of the same function (callers cache it).
-pub fn resolve_loc(
-    func: &Function,
-    inst_index: &HashMap<InstId, &InstKind>,
-    ptr: Value,
-) -> MemLoc {
+pub fn resolve_loc(func: &Function, inst_index: &HashMap<InstId, &InstKind>, ptr: Value) -> MemLoc {
     resolve_loc_depth(func, inst_index, ptr, 16)
 }
 
@@ -108,10 +104,13 @@ fn resolve_loc_depth(
             }
             // A pointer loaded from memory or returned by a call: all we
             // know is its type.
-            Some(InstKind::Load { ty: Type::Ptr(p), .. })
-            | Some(InstKind::Call { ret_ty: Type::Ptr(p), .. }) => {
-                MemLoc::Pointee((**p).clone())
-            }
+            Some(InstKind::Load {
+                ty: Type::Ptr(p), ..
+            })
+            | Some(InstKind::Call {
+                ret_ty: Type::Ptr(p),
+                ..
+            }) => MemLoc::Pointee((**p).clone()),
             _ => MemLoc::Unknown,
         },
         _ => MemLoc::Unknown,
@@ -237,11 +236,7 @@ mod tests {
 
     #[test]
     fn dynamic_array_index_keys_by_elem_type() {
-        let mut b = FunctionBuilder::new(
-            "f",
-            vec![("i".into(), Type::I64)],
-            Type::Void,
-        );
+        let mut b = FunctionBuilder::new("f", vec![("i".into(), Type::I64)], Type::Void);
         let a = b.gep(
             Type::array_of(Type::I64, 16),
             Value::Global(GlobalId(1)),
@@ -255,11 +250,7 @@ mod tests {
 
     #[test]
     fn param_pointer_is_pointee() {
-        let b = FunctionBuilder::new(
-            "f",
-            vec![("p".into(), Type::ptr_to(Type::I32))],
-            Type::Void,
-        );
+        let b = FunctionBuilder::new("f", vec![("p".into(), Type::ptr_to(Type::I32))], Type::Void);
         let f = b.finish();
         let idx = f.inst_index();
         let loc = resolve_loc(&f, &idx, Value::Param(0));

@@ -48,6 +48,7 @@ enum Tok {
     Comma,
     Colon,
     Eq,
+    Bang,
 }
 
 #[derive(Debug)]
@@ -104,6 +105,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 }
                 '=' => {
                     toks.push((Tok::Eq, line_num));
+                    chars.next();
+                }
+                '!' => {
+                    toks.push((Tok::Bang, line_num));
                     chars.next();
                 }
                 '"' => {
@@ -496,7 +501,11 @@ fn parse_function(lx: &mut Lexer, names: &Names) -> Result<Function, ParseError>
         // A terminator?
         if lx.eat_ident("br") {
             let target = lx.expect_ident()?;
-            blocks.push((cur_label.take().unwrap(), std::mem::take(&mut cur_insts), SymTerm::Br(target)));
+            blocks.push((
+                cur_label.take().unwrap(),
+                std::mem::take(&mut cur_insts),
+                SymTerm::Br(target),
+            ));
             continue;
         }
         if lx.eat_ident("condbr") {
@@ -553,7 +562,16 @@ fn parse_function(lx: &mut Lexer, names: &Names) -> Result<Function, ParseError>
             ctx.results.insert(n.clone(), id);
         }
         let kind = parse_inst(lx, names, &ctx, result_name.as_deref())?;
-        cur_insts.push(Inst { id, kind });
+        // Optional `!N` source-span suffix.
+        let span = if lx.eat(&Tok::Bang) {
+            match lx.next() {
+                Some(Tok::Int(v)) if v >= 0 => v as u32,
+                _ => return Err(lx.err("expected line number after `!`")),
+            }
+        } else {
+            0
+        };
+        cur_insts.push(Inst::with_span(id, kind, span));
     }
 
     // Resolve labels.
@@ -872,7 +890,9 @@ mod tests {
         assert_eq!(m.structs[0].fields.len(), 3);
         let f = &m.funcs[0];
         match &f.blocks[0].insts[0].kind {
-            InstKind::Gep { base_ty, indices, .. } => {
+            InstKind::Gep {
+                base_ty, indices, ..
+            } => {
                 assert_eq!(*base_ty, Type::Struct(StructId(0)));
                 assert_eq!(indices.len(), 2);
             }
@@ -900,19 +920,31 @@ mod tests {
         let f = &m.funcs[0];
         assert!(matches!(
             f.blocks[0].insts[0].kind,
-            InstKind::Cmpxchg { ord: Ordering::SeqCst, .. }
+            InstKind::Cmpxchg {
+                ord: Ordering::SeqCst,
+                ..
+            }
         ));
         assert!(matches!(
             f.blocks[1].insts[0].kind,
-            InstKind::Fence { ord: Ordering::SeqCst }
+            InstKind::Fence {
+                ord: Ordering::SeqCst
+            }
         ));
         assert!(matches!(
             f.blocks[1].insts[1].kind,
-            InstKind::Rmw { op: RmwOp::Add, ord: Ordering::AcqRel, .. }
+            InstKind::Rmw {
+                op: RmwOp::Add,
+                ord: Ordering::AcqRel,
+                ..
+            }
         ));
         assert!(matches!(
             f.blocks[1].insts[2].kind,
-            InstKind::Call { callee: Callee::Builtin(Builtin::Pause), .. }
+            InstKind::Call {
+                callee: Callee::Builtin(Builtin::Pause),
+                ..
+            }
         ));
     }
 

@@ -57,7 +57,11 @@ pub fn print_function(m: &Module, f: &Function) -> String {
     for (i, b) in f.blocks.iter().enumerate() {
         let _ = writeln!(out, "bb{}:", i);
         for inst in &b.insts {
-            let _ = writeln!(out, "  {}", inst_str(m, f, &inst.kind, inst.id.0));
+            let _ = write!(out, "  {}", inst_str(m, f, &inst.kind, inst.id.0));
+            if inst.span != 0 {
+                let _ = write!(out, " !{}", inst.span);
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "  {}", term_str(m, f, &b.term));
     }
@@ -122,14 +126,25 @@ fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
             let _ = name; // cosmetic; dropped so print/parse is a fixpoint
             format!("%t{id} = alloca {}", type_str(m, ty))
         }
-        InstKind::Load { ptr, ty, ord, volatile } => format!(
+        InstKind::Load {
+            ptr,
+            ty,
+            ord,
+            volatile,
+        } => format!(
             "%t{id} = load {}, {}{}{}",
             type_str(m, ty),
             v(*ptr),
             ord_suffix(*ord),
             vol_suffix(*volatile)
         ),
-        InstKind::Store { ptr, val, ty, ord, volatile } => format!(
+        InstKind::Store {
+            ptr,
+            val,
+            ty,
+            ord,
+            volatile,
+        } => format!(
             "store {} {}, {}{}{}",
             type_str(m, ty),
             v(*val),
@@ -137,7 +152,13 @@ fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
             ord_suffix(*ord),
             vol_suffix(*volatile)
         ),
-        InstKind::Cmpxchg { ptr, expected, new, ty, ord } => format!(
+        InstKind::Cmpxchg {
+            ptr,
+            expected,
+            new,
+            ty,
+            ord,
+        } => format!(
             "%t{id} = cmpxchg {} {}, {}, {}{}",
             type_str(m, ty),
             v(*ptr),
@@ -145,7 +166,13 @@ fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
             v(*new),
             ord_suffix(*ord)
         ),
-        InstKind::Rmw { op, ptr, val, ty, ord } => format!(
+        InstKind::Rmw {
+            op,
+            ptr,
+            val,
+            ty,
+            ord,
+        } => format!(
             "%t{id} = rmw {} {} {}, {}{}",
             op.mnemonic(),
             type_str(m, ty),
@@ -154,7 +181,11 @@ fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
             ord_suffix(*ord)
         ),
         InstKind::Fence { ord } => format!("fence {}", ord.keyword()),
-        InstKind::Gep { base, base_ty, indices } => {
+        InstKind::Gep {
+            base,
+            base_ty,
+            indices,
+        } => {
             let idxs: Vec<String> = indices
                 .iter()
                 .map(|i| match i {
@@ -178,7 +209,11 @@ fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
         InstKind::Cast { value, to } => {
             format!("%t{id} = cast {} to {}", v(*value), type_str(m, to))
         }
-        InstKind::Call { callee, args, ret_ty } => {
+        InstKind::Call {
+            callee,
+            args,
+            ret_ty,
+        } => {
             let name = match callee {
                 Callee::Func(fid) => match m.funcs.get(fid.0 as usize) {
                     Some(def) => def.name.clone(),
@@ -204,7 +239,11 @@ fn inst_str(m: &Module, f: &Function, kind: &InstKind, id: u32) -> String {
 fn term_str(m: &Module, f: &Function, t: &Terminator) -> String {
     match t {
         Terminator::Br(b) => format!("br bb{}", b.0),
-        Terminator::CondBr { cond, then_bb, else_bb } => format!(
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
             "condbr {}, bb{}, bb{}",
             value_str(m, f, *cond),
             then_bb.0,

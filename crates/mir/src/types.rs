@@ -55,7 +55,10 @@ impl Type {
 
     /// Returns `true` if this is any integer type (including `i1`).
     pub fn is_int(&self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Returns `true` if this is a pointer type.

@@ -117,7 +117,9 @@ fn verify_function(m: &Module, f: &Function) -> Result<(), String> {
             InstKind::Cmpxchg { ty, .. } | InstKind::Rmw { ty, .. } if !ty.is_scalar() => {
                 return Err(format!("atomic access of non-scalar type {ty} ({bid})"));
             }
-            InstKind::Gep { base_ty, indices, .. } => {
+            InstKind::Gep {
+                base_ty, indices, ..
+            } => {
                 if indices.is_empty() {
                     return Err(format!("gep with no indices ({bid})"));
                 }
@@ -304,7 +306,11 @@ mod tests {
             init: vec![0],
         });
         let mut b = FunctionBuilder::new("f", vec![], Type::Void);
-        b.field_addr(Type::Struct(sid), Value::Global(crate::module::GlobalId(0)), 5);
+        b.field_addr(
+            Type::Struct(sid),
+            Value::Global(crate::module::GlobalId(0)),
+            5,
+        );
         b.ret(None);
         m.add_func(b.finish());
         let err = verify_module(&m).unwrap_err();

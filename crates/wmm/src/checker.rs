@@ -263,10 +263,7 @@ impl Checker {
                                 next.mem.gc();
                                 if visited.insert(next.fingerprint()) {
                                     verdict.states += 1;
-                                    if single_option
-                                        && fork_count == 0
-                                        && chain.is_none()
-                                    {
+                                    if single_option && fork_count == 0 && chain.is_none() {
                                         // Deterministic chain: continue in
                                         // this loop without stack traffic.
                                         chain = Some(next);
@@ -433,9 +430,15 @@ mod tests {
         let src = SB_CONCURRENT.replace("ORD", "");
         let m = parse_module(&src).unwrap();
         let tso = Checker::new(ModelKind::Tso).check(&m, "main");
-        assert!(matches!(tso.violation, Some(Failure::Assert { .. })), "{tso}");
+        assert!(
+            matches!(tso.violation, Some(Failure::Assert { .. })),
+            "{tso}"
+        );
         let wmm = Checker::new(ModelKind::Wmm).check(&m, "main");
-        assert!(matches!(wmm.violation, Some(Failure::Assert { .. })), "{wmm}");
+        assert!(
+            matches!(wmm.violation, Some(Failure::Assert { .. })),
+            "{wmm}"
+        );
         // But SC forbids it.
         let sc = Checker::new(ModelKind::Sc).check(&m, "main");
         assert!(sc.passed(), "{sc}");

@@ -9,8 +9,8 @@
 
 use crate::mem::Layout;
 use atomig_mir::{
-    BinOp, BlockId, Builtin, Callee, CmpPred, FuncId, GepIndex, InstId, InstKind, Module,
-    Ordering, RmwOp, Terminator, Type, Value,
+    BinOp, BlockId, Builtin, Callee, CmpPred, FuncId, GepIndex, InstId, InstKind, Module, Ordering,
+    RmwOp, Terminator, Type, Value,
 };
 
 /// One dynamic GEP term: `eval(value) * stride`.
@@ -223,7 +223,11 @@ impl CompiledProgram {
 fn compile_term(t: &Terminator) -> CTerm {
     match t {
         Terminator::Br(b) => CTerm::Br(*b),
-        Terminator::CondBr { cond, then_bb, else_bb } => CTerm::CondBr {
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => CTerm::CondBr {
             cond: *cond,
             then_bb: *then_bb,
             else_bb: *else_bb,
@@ -249,14 +253,22 @@ fn compile_inst(module: &Module, layout: &Layout, id: InstId, kind: &InstKind) -
             val: *val,
             ord: *ord,
         },
-        InstKind::Cmpxchg { ptr, expected, new, ord, .. } => CInst::Cmpxchg {
+        InstKind::Cmpxchg {
+            ptr,
+            expected,
+            new,
+            ord,
+            ..
+        } => CInst::Cmpxchg {
             id,
             ptr: *ptr,
             expected: *expected,
             new: *new,
             ord: *ord,
         },
-        InstKind::Rmw { op, ptr, val, ord, .. } => CInst::Rmw {
+        InstKind::Rmw {
+            op, ptr, val, ord, ..
+        } => CInst::Rmw {
             id,
             op: *op,
             ptr: *ptr,
@@ -264,7 +276,11 @@ fn compile_inst(module: &Module, layout: &Layout, id: InstId, kind: &InstKind) -
             ord: *ord,
         },
         InstKind::Fence { ord } => CInst::Fence { ord: *ord },
-        InstKind::Gep { base, base_ty, indices } => {
+        InstKind::Gep {
+            base,
+            base_ty,
+            indices,
+        } => {
             let (const_off, dyn_terms) = compile_gep(module, layout, base_ty, indices);
             CInst::Gep {
                 id,
@@ -290,7 +306,11 @@ fn compile_inst(module: &Module, layout: &Layout, id: InstId, kind: &InstKind) -
             value: *value,
             mask: to.value_mask(),
         },
-        InstKind::Call { callee, args, ret_ty } => match callee {
+        InstKind::Call {
+            callee,
+            args,
+            ret_ty,
+        } => match callee {
             Callee::Func(f) => CInst::CallFunc {
                 id: (*ret_ty != Type::Void).then_some(id),
                 func: *f,
@@ -370,14 +390,22 @@ mod tests {
         let p = CompiledProgram::compile(&m, &layout);
         let insts = &p.funcs[0].blocks[0].insts;
         match &insts[0] {
-            CInst::Gep { const_off, dyn_terms, .. } => {
+            CInst::Gep {
+                const_off,
+                dyn_terms,
+                ..
+            } => {
                 assert_eq!(*const_off, 1);
                 assert!(dyn_terms.is_empty());
             }
             other => panic!("unexpected {other:?}"),
         }
         match &insts[1] {
-            CInst::Gep { const_off, dyn_terms, .. } => {
+            CInst::Gep {
+                const_off,
+                dyn_terms,
+                ..
+            } => {
                 assert_eq!(*const_off, 2);
                 assert_eq!(dyn_terms.len(), 1);
                 assert_eq!(dyn_terms[0].stride, 1);

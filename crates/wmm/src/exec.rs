@@ -71,7 +71,12 @@ pub struct Frame {
 }
 
 impl Frame {
-    fn new(prog: &CompiledProgram, func: FuncId, params: Vec<i64>, ret_to: Option<InstId>) -> Frame {
+    fn new(
+        prog: &CompiledProgram,
+        func: FuncId,
+        params: Vec<i64>,
+        ret_to: Option<InstId>,
+    ) -> Frame {
         Frame {
             func,
             block: BlockId(0),
@@ -490,7 +495,13 @@ impl<'m, M: MemModel> Machine<'m, M> {
                 }
                 visibility(!own_stack)
             }
-            CInst::Cmpxchg { id, ptr, expected, new, ord } => {
+            CInst::Cmpxchg {
+                id,
+                ptr,
+                expected,
+                new,
+                ord,
+            } => {
                 let addr = self.eval(tid, *ptr) as u64;
                 if addr == 0 {
                     return self.trap("null pointer cmpxchg");
@@ -514,7 +525,13 @@ impl<'m, M: MemModel> Machine<'m, M> {
                 self.stats.rmws += 1;
                 visibility(self.is_visible(tid, addr))
             }
-            CInst::Rmw { id, op, ptr, val, ord } => {
+            CInst::Rmw {
+                id,
+                op,
+                ptr,
+                val,
+                ord,
+            } => {
                 let addr = self.eval(tid, *ptr) as u64;
                 if addr == 0 {
                     return self.trap("null pointer rmw");
@@ -544,7 +561,12 @@ impl<'m, M: MemModel> Machine<'m, M> {
                 }
                 InstOutcome::Visible
             }
-            CInst::Gep { id, base, const_off, dyn_terms } => {
+            CInst::Gep {
+                id,
+                base,
+                const_off,
+                dyn_terms,
+            } => {
                 let mut addr = self.eval(tid, *base).wrapping_add(*const_off);
                 for t in dyn_terms.iter() {
                     addr = addr.wrapping_add(self.eval(tid, t.value).wrapping_mul(t.stride));
@@ -762,7 +784,11 @@ impl<'m, M: MemModel> Machine<'m, M> {
                 frame.ip = 0;
                 InstOutcome::Invisible
             }
-            CTerm::CondBr { cond, then_bb, else_bb } => {
+            CTerm::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let c = self.eval(tid, cond);
                 let frame = self.threads[tid].frames.last_mut().expect("frame");
                 frame.block = if c != 0 { then_bb } else { else_bb };

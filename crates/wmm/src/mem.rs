@@ -70,10 +70,7 @@ impl Layout {
     }
 
     /// Initial `(addr, value)` pairs for all non-zero global slots.
-    pub fn initial_values<'a>(
-        &'a self,
-        m: &'a Module,
-    ) -> impl Iterator<Item = (u64, i64)> + 'a {
+    pub fn initial_values<'a>(&'a self, m: &'a Module) -> impl Iterator<Item = (u64, i64)> + 'a {
         m.globals.iter().enumerate().flat_map(move |(gi, g)| {
             let base = self.global_base[gi];
             g.init
@@ -89,12 +86,7 @@ impl Layout {
 /// `base_ty`. The first index scales whole `base_ty` objects; subsequent
 /// indices navigate struct fields / array elements. Returns the offset and
 /// needs the module for struct field types.
-pub fn gep_offset(
-    m: &Module,
-    layout: &Layout,
-    base_ty: &Type,
-    indices: &[i64],
-) -> u64 {
+pub fn gep_offset(m: &Module, layout: &Layout, base_ty: &Type, indices: &[i64]) -> u64 {
     let mut off: i64 = 0;
     let mut cur = base_ty.clone();
     for (i, &idx) in indices.iter().enumerate() {

@@ -499,12 +499,13 @@ impl MemModel for ViewMem {
     }
 
     fn cmpxchg(&mut self, tid: usize, addr: u64, expected: i64, new: i64, ord: Ordering) -> i64 {
-        self.do_rmw(
-            tid,
-            addr,
-            ord,
-            |old| if old == expected { Some(new) } else { None },
-        )
+        self.do_rmw(tid, addr, ord, |old| {
+            if old == expected {
+                Some(new)
+            } else {
+                None
+            }
+        })
     }
 
     fn fence(&mut self, tid: usize, ord: Ordering) {
@@ -552,10 +553,7 @@ impl MemModel for ViewMem {
                 .min()
                 .unwrap_or(0);
             if let Some(h) = self.hist.get_mut(&addr) {
-                let keep_from = h
-                    .iter()
-                    .position(|m| m.ts >= floor)
-                    .unwrap_or(h.len() - 1);
+                let keep_from = h.iter().position(|m| m.ts >= floor).unwrap_or(h.len() - 1);
                 if keep_from > 0 {
                     h.drain(..keep_from);
                 }

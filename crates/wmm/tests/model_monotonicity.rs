@@ -2,18 +2,18 @@
 //! TSO execution, every TSO execution is a WMM execution, and the
 //! Arm-flavoured model only weakens the strong-SC one. Therefore the set
 //! of violated assertions must grow monotonically along that chain —
-//! checked here on randomly generated two-thread programs.
+//! checked here on seeded randomly generated two-thread programs.
 
+use atomig_testutil::Rng;
 use atomig_wmm::{Checker, ModelKind};
-use proptest::prelude::*;
 use std::fmt::Write as _;
 
 #[derive(Debug, Clone)]
 struct Op {
     is_store: bool,
-    var: u8,     // 0 = @x, 1 = @y
-    ord: u8,     // 0 plain, 1 rel/acq, 2 seq_cst
-    value: i64,  // stored value (1..3)
+    var: u8,    // 0 = @x, 1 = @y
+    ord: u8,    // 0 plain, 1 rel/acq, 2 seq_cst
+    value: i64, // stored value (1..3)
 }
 
 fn ord_str(o: u8, is_store: bool) -> &'static str {
@@ -41,11 +41,7 @@ fn render_thread(name: &str, ops: &[Op], result_global: &str) -> String {
                 ord_str(op.ord, true)
             );
         } else {
-            let _ = writeln!(
-                body,
-                "  %l{i} = load i32, {var}{}",
-                ord_str(op.ord, false)
-            );
+            let _ = writeln!(body, "  %l{i} = load i32, {var}{}", ord_str(op.ord, false));
             acc.push(format!("%l{i}"));
             loads += 1;
         }
@@ -63,27 +59,25 @@ fn render_thread(name: &str, ops: &[Op], result_global: &str) -> String {
     format!("fn @{name}(%a: i64) : void {{\nbb0:\n{body}  ret\n}}\n")
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (any::<bool>(), 0u8..2, 0u8..3, 1i64..4).prop_map(|(is_store, var, ord, value)| Op {
-            is_store,
-            var,
-            ord,
-            value,
-        }),
-        1..4,
-    )
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = 1 + rng.gen_usize(3);
+    (0..len)
+        .map(|_| Op {
+            is_store: rng.gen_ratio(1, 2),
+            var: rng.gen_usize(2) as u8,
+            ord: rng.gen_usize(3) as u8,
+            value: rng.gen_range(1..4),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn violations_grow_with_model_weakness(
-        t1 in arb_ops(),
-        t2 in arb_ops(),
-        limit in 0i32..40,
-    ) {
+#[test]
+fn violations_grow_with_model_weakness() {
+    let mut rng = Rng::new(0x11170);
+    for case in 0..64 {
+        let t1 = gen_ops(&mut rng);
+        let t2 = gen_ops(&mut rng);
+        let limit = rng.gen_range(0..40);
         let mut src = String::from(
             "global @x: i32 = 0\nglobal @y: i32 = 0\nglobal @r1: i32 = 0\nglobal @r2: i32 = 0\n",
         );
@@ -114,17 +108,20 @@ bb0:
 
         let violated = |model: ModelKind| {
             let v = Checker::new(model).check(&m, "main");
-            prop_assert!(!v.truncated, "{model} truncated");
-            Ok(v.violation.is_some())
+            assert!(!v.truncated, "case {case}: {model} truncated");
+            v.violation.is_some()
         };
-        let sc = violated(ModelKind::Sc)?;
-        let tso = violated(ModelKind::Tso)?;
-        let wmm = violated(ModelKind::Wmm)?;
-        let arm = violated(ModelKind::Arm)?;
+        let sc = violated(ModelKind::Sc);
+        let tso = violated(ModelKind::Tso);
+        let wmm = violated(ModelKind::Wmm);
+        let arm = violated(ModelKind::Arm);
         // Monotonicity: a violation under a stronger model must persist
         // under every weaker one.
-        prop_assert!(!sc || tso, "violated under SC but not TSO");
-        prop_assert!(!tso || wmm, "violated under TSO but not WMM");
-        prop_assert!(!wmm || arm, "violated under WMM(strong) but not ARM");
+        assert!(!sc || tso, "case {case}: violated under SC but not TSO");
+        assert!(!tso || wmm, "case {case}: violated under TSO but not WMM");
+        assert!(
+            !wmm || arm,
+            "case {case}: violated under WMM(strong) but not ARM"
+        );
     }
 }

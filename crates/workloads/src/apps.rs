@@ -12,13 +12,7 @@
 //! everywhere).
 
 /// Application names in Table 3/5 order.
-pub const APPS: [&str; 5] = [
-    "mariadb",
-    "postgresql",
-    "leveldb",
-    "memcached",
-    "sqlite",
-];
+pub const APPS: [&str; 5] = ["mariadb", "postgresql", "leveldb", "memcached", "sqlite"];
 
 /// Returns the MiniC perf program for an application kernel.
 ///

@@ -169,6 +169,9 @@ mod tests {
         let atomig_slow = cm.slowdown(&ro.stats, &rp.stats);
         let naive_slow = cm.slowdown(&ro.stats, &rn.stats);
         assert!(atomig_slow > 1.0, "atomig {atomig_slow}");
-        assert!(naive_slow > atomig_slow, "naive {naive_slow} vs atomig {atomig_slow}");
+        assert!(
+            naive_slow > atomig_slow,
+            "naive {naive_slow} vs atomig {atomig_slow}"
+        );
     }
 }

@@ -68,10 +68,7 @@ pub fn compile_naive(source: &str, name: &str) -> (Module, atomig_core::naive::N
 }
 
 /// Compiles, inlines, and applies the Lasagne-style port (explicit fences).
-pub fn compile_lasagne(
-    source: &str,
-    name: &str,
-) -> (Module, atomig_core::lasagne::LasagneStats) {
+pub fn compile_lasagne(source: &str, name: &str) -> (Module, atomig_core::lasagne::LasagneStats) {
     let mut module = compile_baseline(source, name);
     let stats = atomig_core::lasagne_port(&mut module);
     (module, stats)

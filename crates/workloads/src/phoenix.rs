@@ -305,7 +305,10 @@ mod tests {
             let lasagne = lasagne_cost as f64 / base_cost as f64;
             let atomig = atomig_cost as f64 / base_cost as f64;
             assert!(atomig < 1.10, "{name}: atomig {atomig}");
-            assert!(naive >= atomig - 0.01, "{name}: naive {naive} < atomig {atomig}");
+            assert!(
+                naive >= atomig - 0.01,
+                "{name}: naive {naive} < atomig {atomig}"
+            );
             naive_prod *= naive;
             lasagne_prod *= lasagne;
             atomig_prod *= atomig;

@@ -10,8 +10,7 @@
 //! plain compute functions to reach the SLOC budget.
 
 use crate::profiles::AppProfile;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use atomig_testutil::Rng;
 use std::fmt::Write as _;
 
 /// What to generate.
@@ -87,7 +86,7 @@ pub struct GeneratedApp {
 
 /// Generates a deterministic synthetic codebase.
 pub fn generate(config: GenConfig) -> GeneratedApp {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = Rng::new(config.seed);
     let mut out = String::new();
 
     for i in 0..config.mp_waiters {

@@ -1,0 +1,17 @@
+/* Figure 1: message passing through a flag. TSO-correct, WMM-broken
+ * until `atomig port` promotes the flag accesses to seq_cst. */
+int flag;
+int msg;
+
+void writer(long unused) {
+  msg = 42;
+  flag = 1;
+}
+
+int main() {
+  long t = spawn(writer, 0);
+  while (flag != 1) { }
+  assert(msg == 42);
+  join(t);
+  return 0;
+}

@@ -1,0 +1,30 @@
+/* Figure 6: a sequence counter protecting a payload. The reader's
+ * optimistic retry loop needs explicit fences, which `atomig port`
+ * inserts before the in-loop control loads and after the writer's
+ * counter increments. */
+int seq;
+int payload;
+
+void writer(long v) {
+  seq = seq + 1;
+  payload = v;
+  seq = seq + 1;
+}
+
+int reader() {
+  int s;
+  int data;
+  do {
+    s = seq;
+    data = payload;
+  } while (s % 2 != 0 || s != seq);
+  return data;
+}
+
+int main() {
+  long t = spawn(writer, 7);
+  int d = reader();
+  join(t);
+  assert(d == 0 || d == 7);
+  return 0;
+}

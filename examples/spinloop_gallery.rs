@@ -68,7 +68,11 @@ fn main() {
         let inf = InfluenceAnalysis::new(func);
         let spins = detect_spinloops(func, &inf);
         let detected = !spins.is_empty();
-        let verdict = if detected { "SPINLOOP " } else { "not a spinloop" };
+        let verdict = if detected {
+            "SPINLOOP "
+        } else {
+            "not a spinloop"
+        };
         println!("{verdict}  <-  {label}");
         assert_eq!(
             detected, *expected,

@@ -1,0 +1,32 @@
+/* Figure 4: a test-and-set spinlock guarding a plain counter. The
+ * cmpxchg spinloop is detected and the unlock store becomes seq_cst
+ * through sticky-buddy expansion ("once atomic, always atomic"). */
+int locked;
+int counter;
+
+void lock() {
+  while (cmpxchg(&locked, 0, 1) != 0) { }
+}
+
+void unlock() {
+  locked = 0;
+}
+
+void worker(long rounds) {
+  for (long i = 0; i < rounds; i++) {
+    lock();
+    counter = counter + 1;
+    unlock();
+  }
+}
+
+int main() {
+  long t = spawn(worker, 3);
+  worker(3);
+  join(t);
+  lock();
+  int c = counter;
+  unlock();
+  assert(c == 6);
+  return 0;
+}

@@ -118,8 +118,8 @@ fn porting_is_idempotent_on_workloads() {
     ] {
         let (once, _) = compile_atomig(&src, name);
         let mut twice = once.clone();
-        let report = atomig_core::Pipeline::new(atomig_core::AtomigConfig::full())
-            .port_module(&mut twice);
+        let report =
+            atomig_core::Pipeline::new(atomig_core::AtomigConfig::full()).port_module(&mut twice);
         assert_eq!(report.implicit_barriers_added, 0, "{name}: {report}");
         assert_eq!(report.explicit_barriers_added, 0, "{name}");
         // NOTE: inlining already happened in the first port, so the

@@ -1,7 +1,9 @@
 //! End-to-end reproduction of every figure in the paper.
 
 use atomig_analysis::InfluenceAnalysis;
-use atomig_core::{detect_optimistic, detect_spinloops, AtomigConfig, Pipeline};
+use atomig_core::{
+    detect_optimistic, detect_spinloops, lint_module, AtomigConfig, LintRule, Pipeline,
+};
 use atomig_mir::{InstKind, Ordering};
 use atomig_wmm::{Checker, ModelKind};
 
@@ -71,13 +73,25 @@ fn figure3_spinloop_gallery() {
             "int flag; void f() { for (int i = 0; i < 100; i++) { if (flag == 1) break; } }",
             false,
         ),
-        ("int turns; void f() { for (int i = 0; i < turns; i++) { } }", false),
+        (
+            "int turns; void f() { for (int i = 0; i < turns; i++) { } }",
+            false,
+        ),
     ];
     for (src, expected) in cases {
         let m = compile(src);
         let inf = InfluenceAnalysis::new(&m.funcs[0]);
         let spins = detect_spinloops(&m.funcs[0], &inf);
         assert_eq!(!spins.is_empty(), expected, "case: {src}");
+        // The static lint agrees: loops classified as synchronization
+        // yield fence-placement findings on the unported module (the spin
+        // controls are not SC yet); bounded loops audit clean.
+        let lint = lint_module(&m, &AtomigConfig::full());
+        assert_eq!(
+            lint.count(LintRule::FencePlacement) > 0,
+            expected,
+            "lint verdict for: {src}\n{lint}"
+        );
     }
 }
 
@@ -98,9 +112,18 @@ fn figure4_tas_lock_transformation() {
     assert_eq!(report.spinloops, 1);
     let unlock = m.func(m.func_by_name("unlock").unwrap());
     let sc_store = unlock.insts().any(|(_, i)| {
-        matches!(i.kind, InstKind::Store { ord: Ordering::SeqCst, .. })
+        matches!(
+            i.kind,
+            InstKind::Store {
+                ord: Ordering::SeqCst,
+                ..
+            }
+        )
     });
-    assert!(sc_store, "unlock store must become SC (once atomic, always atomic)");
+    assert!(
+        sc_store,
+        "unlock store must become SC (once atomic, always atomic)"
+    );
 }
 
 /// Figure 5: message passing — reader loads and writer store of the flag
@@ -167,8 +190,13 @@ fn figure6_seqlock_fences() {
     let mut store_then_fence = 0;
     for b in &writer.blocks {
         for w in b.insts.windows(2) {
-            if matches!(w[0].kind, InstKind::Store { ord: Ordering::SeqCst, .. })
-                && matches!(w[1].kind, InstKind::Fence { .. })
+            if matches!(
+                w[0].kind,
+                InstKind::Store {
+                    ord: Ordering::SeqCst,
+                    ..
+                }
+            ) && matches!(w[1].kind, InstKind::Fence { .. })
             {
                 store_then_fence += 1;
             }
@@ -181,7 +209,10 @@ fn figure6_seqlock_fences() {
         .insts()
         .filter(|(_, i)| matches!(i.kind, InstKind::Fence { .. }))
         .count();
-    assert!(fences >= 2, "fences before optimistic control reads, got {fences}");
+    assert!(
+        fences >= 2,
+        "fences before optimistic control reads, got {fences}"
+    );
 }
 
 /// Figure 7: the lf-hash bug — detection, classification, fix.
@@ -204,4 +235,20 @@ fn figure7_lf_hash() {
     let mut ported = m.clone();
     Pipeline::new(AtomigConfig::full()).port_module(&mut ported);
     assert!(Checker::new(ModelKind::Arm).check(&ported, "main").passed());
+
+    // The static lint finds the same bug without running the checker: the
+    // racy state/key snapshot loads in l_find are flagged on the original
+    // module, with source lines attached, and the ported module is clean.
+    let lint = lint_module(&m, &AtomigConfig::full());
+    let in_find: Vec<_> = lint.lints.iter().filter(|l| l.func == "l_find").collect();
+    assert!(
+        in_find.len() >= 2,
+        "both state and key accesses flagged:\n{lint}"
+    );
+    assert!(in_find.iter().all(|l| l.span != 0), "findings carry lines");
+    let lint_ported = lint_module(&ported, &AtomigConfig::full());
+    assert!(
+        lint_ported.is_clean(),
+        "AtoMig-ported lf_hash audits clean:\n{lint_ported}"
+    );
 }

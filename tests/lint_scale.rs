@@ -1,0 +1,30 @@
+//! `atomig lint` must stay practical at Table-3 scale: the audit of a
+//! synthetic module derived from the largest application profile
+//! (MariaDB) has to finish well under the 10-second budget.
+
+use atomig_core::{lint_module, AtomigConfig, LintRule};
+use atomig_workloads::profiles;
+use atomig_workloads::synth::{generate, GenConfig};
+use std::time::Instant;
+
+#[test]
+fn lint_scales_to_largest_profile() {
+    let profile = profiles::MARIADB;
+    let app = generate(GenConfig::from_profile(&profile, 100));
+    let m = atomig_frontc::compile(&app.source, "mariadb_synth").expect("synthetic compiles");
+    let t0 = Instant::now();
+    let report = lint_module(&m, &AtomigConfig::full());
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 10.0,
+        "lint took {elapsed:.1?} on {} insts",
+        m.inst_count()
+    );
+    // The generator plants unported synchronization patterns, so the
+    // audit of the original module must surface fence-placement work.
+    assert!(
+        report.count(LintRule::FencePlacement) > 0,
+        "synthetic patterns should be flagged"
+    );
+    assert_eq!(report.funcs, m.funcs.len());
+}

@@ -29,7 +29,10 @@ fn stages_are_monotone_on_all_workloads() {
         let (spin_i, spin_e) = implicit_added(src, name, Stage::Spin);
         let (full_i, full_e) = implicit_added(src, name, Stage::Full);
         assert_eq!((orig_i, orig_e), (0, 0), "{name}: original must not mark");
-        assert!(expl_i <= spin_i, "{name}: explicit {expl_i} > spin {spin_i}");
+        assert!(
+            expl_i <= spin_i,
+            "{name}: explicit {expl_i} > spin {spin_i}"
+        );
         assert!(spin_i <= full_i, "{name}: spin {spin_i} > full {full_i}");
         assert!(expl_e <= spin_e && spin_e <= full_e, "{name}");
     }
@@ -44,6 +47,9 @@ fn explicit_fences_appear_only_in_full_stage() {
         let (_, spin_e) = implicit_added(&src, name, Stage::Spin);
         let (_, full_e) = implicit_added(&src, name, Stage::Full);
         assert_eq!(spin_e, 0, "{name}: spin stage must not add fences");
-        assert!(full_e > 0, "{name}: full stage must fence optimistic controls");
+        assert!(
+            full_e > 0,
+            "{name}: full stage must fence optimistic controls"
+        );
     }
 }
