@@ -264,6 +264,80 @@ mod tests {
     }
 
     #[test]
+    fn pointer_passed_through_call_and_returned_is_nonlocal() {
+        // The identity function hands the address straight back, but the
+        // caller's slot already escaped at the call site, and the
+        // returned pointer has no visible private root.
+        let (m, _info) = info_of(
+            r#"
+            fn @id(%p: ptr i32) : ptr i32 {
+            bb0:
+              ret %p
+            }
+            fn @f() : i32 {
+            bb0:
+              %x = alloca i32
+              %p = call ptr i32 @id(%x)
+              store i32 1, %p
+              %v = load i32, %x
+              ret %v
+            }
+            "#,
+        );
+        let f = &m.funcs[1];
+        let info_f = EscapeInfo::new(f);
+        let alloca_id = f.blocks[0].insts[0].id;
+        let call_id = f.blocks[0].insts[1].id;
+        assert!(!info_f.is_private_slot(alloca_id));
+        assert!(info_f.is_nonlocal(Value::Inst(alloca_id)));
+        assert!(info_f.is_nonlocal(Value::Inst(call_id)));
+        assert_eq!(info_f.private_root(Value::Inst(call_id)), None);
+    }
+
+    #[test]
+    fn access_through_returned_pointer_is_nonlocal() {
+        let (m, _info) = info_of(
+            r#"
+            global @cell: i32 = 0
+            fn @mk() : ptr i32 {
+            bb0:
+              ret @cell
+            }
+            fn @f() : i32 {
+            bb0:
+              %p = call ptr i32 @mk()
+              %v = load i32, %p
+              ret %v
+            }
+            "#,
+        );
+        let info_f = EscapeInfo::new(&m.funcs[1]);
+        let call_id = m.funcs[1].blocks[0].insts[0].id;
+        assert!(info_f.is_nonlocal(Value::Inst(call_id)));
+        assert_eq!(info_f.private_root(Value::Inst(call_id)), None);
+    }
+
+    #[test]
+    fn cmpxchg_operand_escapes_the_slot() {
+        // Publishing the slot's address as a cmpxchg operand makes it
+        // reachable from whoever reads @owner.
+        let (m, info) = info_of(
+            r#"
+            global @owner: ptr i32 = 0
+            fn @f() : void {
+            bb0:
+              %x = alloca i32
+              %old = cmpxchg ptr i32 @owner, %x, %x seq_cst
+              ret
+            }
+            "#,
+        );
+        let alloca_id = m.funcs[0].blocks[0].insts[0].id;
+        assert!(!info.is_private_slot(alloca_id));
+        assert!(info.is_nonlocal(Value::Inst(alloca_id)));
+    }
+
+    #[test]
     fn escape_via_gep_of_address() {
         // Passing &x[1] to a call escapes x.
         let (m, info) = info_of(

@@ -17,7 +17,10 @@
 //!   on, flowing through `-O0` stack slots,
 //! * [`callgraph`] and [`inline`] — call graph and the bottom-up inliner
 //!   the paper applies so loops spanning several functions become
-//!   analyzable intra-procedurally (§3.5).
+//!   analyzable intra-procedurally (§3.5),
+//! * [`pointsto`] — the Andersen-style inter-procedural points-to analysis
+//!   the paper deliberately *skips* for scalability (§3.4/§3.5), built here
+//!   so the precision/scalability trade-off can be measured.
 
 pub mod callgraph;
 pub mod cfg;
@@ -26,6 +29,7 @@ pub mod escape;
 pub mod influence;
 pub mod inline;
 pub mod loops;
+pub mod pointsto;
 pub mod reach;
 
 pub use callgraph::CallGraph;
@@ -35,4 +39,5 @@ pub use escape::EscapeInfo;
 pub use influence::{DepSet, InfluenceAnalysis};
 pub use inline::{inline_module, InlineOptions};
 pub use loops::{find_loops, LoopExit, NaturalLoop};
+pub use pointsto::{Cell, CellId, ObjBase, PointsTo, PointsToStats};
 pub use reach::ThreadReach;

@@ -1,0 +1,1013 @@
+//! Andersen-style inter-procedural points-to analysis.
+//!
+//! The paper deliberately *rejects* a precise points-to analysis in favor
+//! of the scalable type-based alias keys of §3.4 ("a precise
+//! inter-procedural alias analysis exhausts memory on our targets"). This
+//! module implements the road not taken so the trade-off can be measured:
+//! an inclusion-based (Andersen) analysis that is
+//!
+//! * **field-sensitive** — abstract objects are split into cells by
+//!   constant field path, so `n->state` and `n->key` do not alias,
+//! * **flow-insensitive** — one constraint system per module, no program
+//!   points,
+//! * **context-insensitive** — call edges merge all call sites, and
+//! * **inter-procedural** — parameter/return binding over direct calls
+//!   plus `spawn` argument binding, so pointers that travel through
+//!   threads (and through integer casts, as in the lf-hash workload) are
+//!   still tracked.
+//!
+//! Constraint generation walks every MIR instruction once: `alloca` and
+//! `malloc` introduce objects (address-of constraints), `cast`/`bin` are
+//! copies, `load`/`store` are the complex dereference constraints, and
+//! `gep` appends field paths. The system is solved with a worklist over
+//! sparse bitsets; complex constraints add new copy edges as points-to
+//! sets grow, which is the textbook O(n³) bound — in practice the MIR
+//! modules here are `-O0`-style and converge in a small number of
+//! iterations per node.
+
+use crate::escape::EscapeInfo;
+use atomig_mir::{Builtin, Callee, FuncId, GlobalId, InstId, InstKind, Module, Terminator, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Field paths longer than this are truncated into summary cells, which
+/// bounds the cell universe and guarantees termination even when GEPs
+/// feed each other through memory cycles.
+const MAX_PATH: usize = 8;
+
+/// Wildcard path element standing for a dynamically computed index.
+pub const ANY_INDEX: i64 = -1;
+
+/// The allocation site an abstract memory cell belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjBase {
+    /// A module global.
+    Global(GlobalId),
+    /// A stack slot, identified by its `alloca` instruction.
+    Stack(FuncId, InstId),
+    /// A heap object, one per static `malloc` call site.
+    Heap(FuncId, InstId),
+}
+
+/// An abstract memory cell: an object base plus a constant field path
+/// (`ANY_INDEX` marks dynamically indexed steps).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cell {
+    /// The allocation site.
+    pub base: ObjBase,
+    /// Field/element path below the base.
+    pub path: Vec<i64>,
+    /// The path was truncated at [`MAX_PATH`]: this cell summarizes the
+    /// entire subtree below `path`.
+    pub summary: bool,
+}
+
+/// Index of an interned [`Cell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+/// A sparse bitset: 64-bit blocks keyed by block index in a `BTreeMap`,
+/// so iteration order (and therefore everything derived from the solver)
+/// is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseBitSet {
+    blocks: BTreeMap<u32, u64>,
+    len: usize,
+}
+
+impl SparseBitSet {
+    /// Inserts a bit; returns whether it was newly set.
+    pub fn insert(&mut self, bit: u32) -> bool {
+        let word = self.blocks.entry(bit / 64).or_insert(0);
+        let mask = 1u64 << (bit % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the bit is set.
+    pub fn contains(&self, bit: u32) -> bool {
+        self.blocks
+            .get(&(bit / 64))
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds every bit of `other`; returns whether anything was added.
+    pub fn union_with(&mut self, other: &SparseBitSet) -> bool {
+        let mut changed = false;
+        for (&k, &w) in &other.blocks {
+            let slot = self.blocks.entry(k).or_insert(0);
+            let added = w & !*slot;
+            if added != 0 {
+                *slot |= added;
+                self.len += added.count_ones() as usize;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().flat_map(|(&k, &w)| {
+            (0..64u32)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| k * 64 + b)
+        })
+    }
+
+    /// Bits set in `self` but not in `other`, ascending.
+    pub fn difference(&self, other: &SparseBitSet) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (&k, &w) in &self.blocks {
+            let theirs = other.blocks.get(&k).copied().unwrap_or(0);
+            let mut d = w & !theirs;
+            while d != 0 {
+                let b = d.trailing_zeros();
+                out.push(k * 64 + b);
+                d &= d - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Solver statistics, reported by the ablation harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointsToStats {
+    /// Constraint-graph nodes (SSA vars, params, returns, cell contents).
+    pub nodes: usize,
+    /// Distinct abstract memory cells.
+    pub cells: usize,
+    /// Base constraints generated from the MIR.
+    pub constraints: usize,
+    /// Worklist pops until fixpoint.
+    pub iterations: usize,
+    /// Wall-clock time of constraint generation + solving.
+    pub solve_time: Duration,
+}
+
+/// Nodes of the constraint graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodeKey {
+    /// The SSA result of an instruction.
+    Var(FuncId, InstId),
+    /// A function parameter.
+    Param(FuncId, u32),
+    /// A function's return value.
+    Ret(FuncId),
+    /// The contents of a memory cell (created lazily by load/store).
+    Content(CellId),
+    /// A literal address operand (`@g` used as a value).
+    Lit(CellId),
+}
+
+struct Solver {
+    cells: Vec<Cell>,
+    cell_ids: HashMap<Cell, CellId>,
+    nodes: Vec<NodeKey>,
+    node_ids: HashMap<NodeKey, u32>,
+    /// Solved points-to set (cell ids) per node.
+    pts: Vec<SparseBitSet>,
+    /// Portion of `pts` already pushed through complex constraints.
+    done: Vec<SparseBitSet>,
+    copy_out: Vec<Vec<u32>>,
+    copy_seen: HashSet<(u32, u32)>,
+    /// `p -> dst`: `dst ⊇ *(pts p)`.
+    load_out: Vec<Vec<u32>>,
+    /// `p -> src`: `*(pts p) ⊇ src`.
+    store_in: Vec<Vec<u32>>,
+    /// `p -> (dst, path)`: `dst ⊇ { c.path ++ path | c ∈ pts p }`.
+    gep_out: Vec<Vec<(u32, Vec<i64>)>>,
+    worklist: Vec<u32>,
+    queued: Vec<bool>,
+    stats: PointsToStats,
+}
+
+impl Solver {
+    fn new() -> Solver {
+        Solver {
+            cells: Vec::new(),
+            cell_ids: HashMap::new(),
+            nodes: Vec::new(),
+            node_ids: HashMap::new(),
+            pts: Vec::new(),
+            done: Vec::new(),
+            copy_out: Vec::new(),
+            copy_seen: HashSet::new(),
+            load_out: Vec::new(),
+            store_in: Vec::new(),
+            gep_out: Vec::new(),
+            worklist: Vec::new(),
+            queued: Vec::new(),
+            stats: PointsToStats::default(),
+        }
+    }
+
+    fn intern_cell(&mut self, cell: Cell) -> CellId {
+        if let Some(&id) = self.cell_ids.get(&cell) {
+            return id;
+        }
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell.clone());
+        self.cell_ids.insert(cell, id);
+        id
+    }
+
+    fn base_cell(&mut self, base: ObjBase) -> CellId {
+        self.intern_cell(Cell {
+            base,
+            path: Vec::new(),
+            summary: false,
+        })
+    }
+
+    fn node(&mut self, key: NodeKey) -> u32 {
+        if let Some(&n) = self.node_ids.get(&key) {
+            return n;
+        }
+        let n = self.nodes.len() as u32;
+        self.nodes.push(key);
+        self.node_ids.insert(key, n);
+        self.pts.push(SparseBitSet::default());
+        self.done.push(SparseBitSet::default());
+        self.copy_out.push(Vec::new());
+        self.load_out.push(Vec::new());
+        self.store_in.push(Vec::new());
+        self.gep_out.push(Vec::new());
+        self.queued.push(false);
+        if let NodeKey::Lit(c) = key {
+            self.pts[n as usize].insert(c.0);
+            self.enqueue(n);
+        }
+        n
+    }
+
+    /// The constraint node holding a value, or `None` for non-pointers
+    /// (constants, function references).
+    fn node_of(&mut self, f: FuncId, v: Value) -> Option<u32> {
+        match v {
+            Value::Inst(id) => Some(self.node(NodeKey::Var(f, id))),
+            Value::Param(i) => Some(self.node(NodeKey::Param(f, i))),
+            Value::Global(g) => {
+                let c = self.base_cell(ObjBase::Global(g));
+                Some(self.node(NodeKey::Lit(c)))
+            }
+            Value::Const(_) | Value::Null | Value::Func(_) => None,
+        }
+    }
+
+    fn enqueue(&mut self, n: u32) {
+        if !self.queued[n as usize] {
+            self.queued[n as usize] = true;
+            self.worklist.push(n);
+        }
+    }
+
+    fn add_pts(&mut self, n: u32, c: CellId) {
+        self.stats.constraints += 1;
+        if self.pts[n as usize].insert(c.0) {
+            self.enqueue(n);
+        }
+    }
+
+    /// Adds the subset edge `dst ⊇ src` and propagates the current set.
+    fn add_copy(&mut self, src: u32, dst: u32) {
+        if src == dst || !self.copy_seen.insert((src, dst)) {
+            return;
+        }
+        self.copy_out[src as usize].push(dst);
+        if !self.pts[src as usize].is_empty() {
+            let src_set = self.pts[src as usize].clone();
+            if self.pts[dst as usize].union_with(&src_set) {
+                self.enqueue(dst);
+            }
+        }
+    }
+
+    /// `cell` viewed through a GEP that appends `path`.
+    fn gep_cell(&mut self, cell: CellId, path: &[i64]) -> CellId {
+        let c = &self.cells[cell.0 as usize];
+        if c.summary || path.is_empty() {
+            return cell;
+        }
+        let mut new_path = c.path.clone();
+        new_path.extend_from_slice(path);
+        let summary = new_path.len() > MAX_PATH;
+        if summary {
+            new_path.truncate(MAX_PATH);
+        }
+        let base = c.base;
+        self.intern_cell(Cell {
+            base,
+            path: new_path,
+            summary,
+        })
+    }
+
+    fn generate(&mut self, m: &Module) {
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            for (_, inst) in func.insts() {
+                let var = NodeKey::Var(fid, inst.id);
+                match &inst.kind {
+                    InstKind::Alloca { .. } => {
+                        let c = self.base_cell(ObjBase::Stack(fid, inst.id));
+                        let n = self.node(var);
+                        self.add_pts(n, c);
+                    }
+                    InstKind::Load { ptr, .. } => {
+                        if let Some(p) = self.node_of(fid, *ptr) {
+                            let dst = self.node(var);
+                            self.load_out[p as usize].push(dst);
+                            self.stats.constraints += 1;
+                        }
+                    }
+                    InstKind::Store { ptr, val, .. } => {
+                        if let (Some(p), Some(s)) =
+                            (self.node_of(fid, *ptr), self.node_of(fid, *val))
+                        {
+                            self.store_in[p as usize].push(s);
+                            self.stats.constraints += 1;
+                        }
+                    }
+                    InstKind::Cmpxchg { ptr, new, .. } => {
+                        // The result is the old contents; on success the
+                        // `new` value is stored.
+                        if let Some(p) = self.node_of(fid, *ptr) {
+                            let dst = self.node(var);
+                            self.load_out[p as usize].push(dst);
+                            self.stats.constraints += 1;
+                            if let Some(s) = self.node_of(fid, *new) {
+                                self.store_in[p as usize].push(s);
+                                self.stats.constraints += 1;
+                            }
+                        }
+                    }
+                    InstKind::Rmw { ptr, val, .. } => {
+                        if let Some(p) = self.node_of(fid, *ptr) {
+                            let dst = self.node(var);
+                            self.load_out[p as usize].push(dst);
+                            self.stats.constraints += 1;
+                            if let Some(s) = self.node_of(fid, *val) {
+                                // `xchg` stores the operand verbatim; the
+                                // arithmetic ops over-approximate.
+                                self.store_in[p as usize].push(s);
+                                self.stats.constraints += 1;
+                            }
+                        }
+                    }
+                    InstKind::Gep { base, indices, .. } => {
+                        // The leading index scales whole objects (LLVM
+                        // semantics) and is dropped, which also makes
+                        // pointer arithmetic `p + n` alias `p` — sound
+                        // for a may-analysis.
+                        let path: Vec<i64> = indices
+                            .iter()
+                            .skip(1)
+                            .map(|i| i.as_const().unwrap_or(ANY_INDEX))
+                            .collect();
+                        if let Some(b) = self.node_of(fid, *base) {
+                            let dst = self.node(var);
+                            self.gep_out[b as usize].push((dst, path));
+                            self.stats.constraints += 1;
+                        }
+                    }
+                    InstKind::Cast { value, .. } => {
+                        // Type-agnostic copy: pointers survive laundering
+                        // through integers (`(long)p` … `(T*)v`).
+                        if let Some(s) = self.node_of(fid, *value) {
+                            let dst = self.node(var);
+                            self.add_copy(s, dst);
+                            self.stats.constraints += 1;
+                        }
+                    }
+                    InstKind::Bin { op, lhs, rhs, .. } => {
+                        // Pointer ± integer arithmetic on laundered
+                        // pointers: propagate through add/sub only.
+                        if matches!(op, atomig_mir::BinOp::Add | atomig_mir::BinOp::Sub) {
+                            let dst = self.node(var);
+                            for v in [*lhs, *rhs] {
+                                if let Some(s) = self.node_of(fid, v) {
+                                    self.add_copy(s, dst);
+                                    self.stats.constraints += 1;
+                                }
+                            }
+                        }
+                    }
+                    InstKind::Cmp { .. } | InstKind::Fence { .. } => {}
+                    InstKind::Call { callee, args, .. } => match callee {
+                        Callee::Func(t) => {
+                            for (j, a) in args.iter().enumerate() {
+                                if let Some(s) = self.node_of(fid, *a) {
+                                    let p = self.node(NodeKey::Param(*t, j as u32));
+                                    self.add_copy(s, p);
+                                    self.stats.constraints += 1;
+                                }
+                            }
+                            let r = self.node(NodeKey::Ret(*t));
+                            let dst = self.node(var);
+                            self.add_copy(r, dst);
+                            self.stats.constraints += 1;
+                        }
+                        Callee::Builtin(Builtin::Malloc) => {
+                            let c = self.base_cell(ObjBase::Heap(fid, inst.id));
+                            let n = self.node(var);
+                            self.add_pts(n, c);
+                        }
+                        Callee::Builtin(Builtin::Spawn) => {
+                            // `spawn(@fn, arg)` binds the argument to the
+                            // target's first parameter.
+                            if let (Some(Value::Func(t)), Some(a)) = (args.first(), args.get(1)) {
+                                if let Some(s) = self.node_of(fid, *a) {
+                                    let p = self.node(NodeKey::Param(*t, 0));
+                                    self.add_copy(s, p);
+                                    self.stats.constraints += 1;
+                                }
+                            }
+                        }
+                        Callee::Builtin(_) => {}
+                    },
+                }
+            }
+            for b in func.block_ids() {
+                if let Terminator::Ret(Some(v)) = &func.block(b).term {
+                    if let Some(s) = self.node_of(fid, *v) {
+                        let r = self.node(NodeKey::Ret(fid));
+                        self.add_copy(s, r);
+                        self.stats.constraints += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        while let Some(n) = self.worklist.pop() {
+            self.queued[n as usize] = false;
+            self.stats.iterations += 1;
+            let delta = self.pts[n as usize].difference(&self.done[n as usize]);
+            if delta.is_empty() {
+                continue;
+            }
+            self.done[n as usize] = self.pts[n as usize].clone();
+            // Simple edges: push the delta to all copy successors.
+            let copies = self.copy_out[n as usize].clone();
+            for dst in copies {
+                let mut changed = false;
+                for &c in &delta {
+                    changed |= self.pts[dst as usize].insert(c);
+                }
+                if changed {
+                    self.enqueue(dst);
+                }
+            }
+            // Complex edges: each new pointee materializes copy edges
+            // from/to its contents node, or a derived field cell.
+            let geps = self.gep_out[n as usize].clone();
+            let loads = self.load_out[n as usize].clone();
+            let stores = self.store_in[n as usize].clone();
+            for &c in &delta {
+                for (dst, path) in &geps {
+                    let fc = self.gep_cell(CellId(c), path);
+                    if self.pts[*dst as usize].insert(fc.0) {
+                        self.enqueue(*dst);
+                    }
+                }
+                if !loads.is_empty() || !stores.is_empty() {
+                    let content = self.node(NodeKey::Content(CellId(c)));
+                    for &dst in &loads {
+                        self.add_copy(content, dst);
+                    }
+                    for &src in &stores {
+                        self.add_copy(src, content);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The solved analysis: per-access cell sets plus overlap queries.
+#[derive(Debug)]
+pub struct PointsTo {
+    cells: Vec<Cell>,
+    /// Whether each cell may be visible to more than one thread (globals,
+    /// heap objects, and *escaping* stack slots).
+    shareable: Vec<bool>,
+    /// Resolved cells of every memory access's address operand.
+    access_cells: HashMap<(FuncId, InstId), Vec<CellId>>,
+    /// Solver statistics.
+    pub stats: PointsToStats,
+}
+
+impl PointsTo {
+    /// Generates and solves the constraint system for `m`.
+    pub fn analyze(m: &Module) -> PointsTo {
+        let t0 = Instant::now();
+        let mut s = Solver::new();
+        s.generate(m);
+        s.solve();
+
+        // Resolve every memory access to its address cells.
+        let mut access_cells: HashMap<(FuncId, InstId), Vec<CellId>> = HashMap::new();
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            for (_, inst) in func.insts() {
+                if !inst.kind.is_memory_access() {
+                    continue;
+                }
+                let cells: Vec<CellId> = match inst.kind.address() {
+                    Some(Value::Global(g)) => vec![s.base_cell(ObjBase::Global(g))],
+                    Some(Value::Inst(id)) => s
+                        .node_ids
+                        .get(&NodeKey::Var(fid, id))
+                        .map(|&n| s.pts[n as usize].iter().map(CellId).collect())
+                        .unwrap_or_default(),
+                    Some(Value::Param(i)) => s
+                        .node_ids
+                        .get(&NodeKey::Param(fid, i))
+                        .map(|&n| s.pts[n as usize].iter().map(CellId).collect())
+                        .unwrap_or_default(),
+                    _ => Vec::new(),
+                };
+                access_cells.insert((fid, inst.id), cells);
+            }
+        }
+
+        // A stack cell is shareable only if its alloca escapes; globals
+        // and heap objects always are.
+        let mut escapes: HashMap<FuncId, EscapeInfo> = HashMap::new();
+        let shareable: Vec<bool> = s
+            .cells
+            .iter()
+            .map(|c| match c.base {
+                ObjBase::Global(_) | ObjBase::Heap(..) => true,
+                ObjBase::Stack(f, id) => {
+                    let info = escapes
+                        .entry(f)
+                        .or_insert_with(|| EscapeInfo::new(m.func(f)));
+                    !info.is_private_slot(id)
+                }
+            })
+            .collect();
+
+        let mut stats = s.stats;
+        stats.nodes = s.nodes.len();
+        stats.cells = s.cells.len();
+        stats.solve_time = t0.elapsed();
+        PointsTo {
+            cells: s.cells,
+            shareable,
+            access_cells,
+            stats,
+        }
+    }
+
+    /// The cells the address operand of access `(f, i)` may point to.
+    /// Empty when the pointer is statically unresolvable (e.g. a library
+    /// entry point's parameter no caller binds).
+    pub fn cells_of_access(&self, f: FuncId, i: InstId) -> &[CellId] {
+        self.access_cells
+            .get(&(f, i))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The interned cell behind an id.
+    pub fn cell(&self, c: CellId) -> &Cell {
+        &self.cells[c.0 as usize]
+    }
+
+    /// Number of distinct cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether a cell may be visible to more than one thread.
+    pub fn is_shareable(&self, c: CellId) -> bool {
+        self.shareable[c.0 as usize]
+    }
+
+    /// May the two cells overlap in memory? Same allocation site, and the
+    /// common prefix of the field paths is element-wise compatible
+    /// (`ANY_INDEX` matches anything). A shorter path denotes the
+    /// enclosing object and conservatively overlaps its fields, as do
+    /// summary cells.
+    pub fn cells_overlap(&self, a: CellId, b: CellId) -> bool {
+        let (ca, cb) = (self.cell(a), self.cell(b));
+        if ca.base != cb.base {
+            return false;
+        }
+        let n = ca.path.len().min(cb.path.len());
+        for i in 0..n {
+            let (x, y) = (ca.path[i], cb.path[i]);
+            if x != y && x != ANY_INDEX && y != ANY_INDEX {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether any pair of cells from the two sets may overlap.
+    pub fn sets_overlap(&self, a: &[CellId], b: &[CellId]) -> bool {
+        a.iter()
+            .any(|&x| b.iter().any(|&y| self.cells_overlap(x, y)))
+    }
+
+    /// Whether the accesses `(f1, i1)` and `(f2, i2)` may touch the same
+    /// memory.
+    pub fn accesses_alias(&self, f1: FuncId, i1: InstId, f2: FuncId, i2: InstId) -> bool {
+        self.sets_overlap(self.cells_of_access(f1, i1), self.cells_of_access(f2, i2))
+    }
+
+    /// A human-readable description of a cell against the module that was
+    /// analyzed (global / function names instead of raw ids).
+    pub fn describe_cell(&self, m: &Module, c: CellId) -> String {
+        let cell = self.cell(c);
+        let mut s = match cell.base {
+            ObjBase::Global(g) => m.globals[g.0 as usize].name.clone(),
+            ObjBase::Stack(f, id) => format!("stack@{}:%t{}", m.func(f).name, id.0),
+            ObjBase::Heap(f, id) => format!("heap@{}:%t{}", m.func(f).name, id.0),
+        };
+        if !cell.path.is_empty() {
+            s.push_str(&format!("{:?}", cell.path));
+        }
+        if cell.summary {
+            s.push('…');
+        }
+        s
+    }
+}
+
+impl fmt::Display for PointsToStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} cells, {} constraints, {} iterations, {:.1?}",
+            self.nodes, self.cells, self.constraints, self.iterations, self.solve_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn first_access(m: &Module, fname: &str, nth: usize) -> (FuncId, InstId) {
+        let fid = m.func_by_name(fname).unwrap();
+        let id = m
+            .func(fid)
+            .insts()
+            .filter(|(_, i)| i.kind.is_memory_access())
+            .nth(nth)
+            .map(|(_, i)| i.id)
+            .unwrap();
+        (fid, id)
+    }
+
+    #[test]
+    fn globals_alias_across_functions_but_not_each_other() {
+        let m = atomig_mir::parse_module(
+            r#"
+            global @flag: i32 = 0
+            global @msg: i32 = 0
+            fn @r() : i32 {
+            bb0:
+              %f = load i32, @flag
+              %v = load i32, @msg
+              ret %v
+            }
+            fn @w() : void {
+            bb0:
+              store i32 1, @flag
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let (rf, flag_load) = first_access(&m, "r", 0);
+        let (_, msg_load) = first_access(&m, "r", 1);
+        let (wf, flag_store) = first_access(&m, "w", 0);
+        assert!(pt.accesses_alias(rf, flag_load, wf, flag_store));
+        assert!(!pt.accesses_alias(rf, msg_load, wf, flag_store));
+    }
+
+    #[test]
+    fn struct_fields_are_distinguished_through_calls() {
+        // A heap node flows into `use_node` via a direct call; its two
+        // fields must not alias each other, but the same field accessed
+        // in caller and callee must.
+        let m = atomig_frontc::compile(
+            r#"
+            struct Node { long state; long key; };
+            long use_node(struct Node *n) { return n->state; }
+            int main() {
+              struct Node *n = (struct Node*)malloc(2);
+              n->key = 7;
+              n->state = 1;
+              long s = use_node(n);
+              return (int)s;
+            }
+            "#,
+            "t",
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        // The callee's only heap access is the `n->state` load (the other
+        // loads/stores hit the -O0 parameter slot).
+        let uf = m.func_by_name("use_node").unwrap();
+        let callee_state_load = m
+            .func(uf)
+            .insts()
+            .filter(|(_, i)| matches!(i.kind, InstKind::Load { .. }))
+            .find(|(_, i)| {
+                pt.cells_of_access(uf, i.id)
+                    .iter()
+                    .any(|&c| matches!(pt.cell(c).base, ObjBase::Heap(..)))
+            })
+            .map(|(_, i)| i.id)
+            .unwrap();
+        let main = m.func_by_name("main").unwrap();
+        // Find main's key store and state store by span order: the key
+        // store comes first in the source.
+        let stores: Vec<InstId> = m
+            .func(main)
+            .insts()
+            .filter(|(_, i)| {
+                matches!(&i.kind, InstKind::Store { ptr, .. } if matches!(ptr, Value::Inst(_)))
+                    && pt
+                        .cells_of_access(main, i.id)
+                        .iter()
+                        .any(|&c| matches!(pt.cell(c).base, ObjBase::Heap(..)))
+            })
+            .map(|(_, i)| i.id)
+            .collect();
+        assert_eq!(stores.len(), 2, "key + state stores resolve to the heap");
+        let key_store = stores[0];
+        let state_store = stores[1];
+        assert!(!pt.accesses_alias(main, key_store, main, state_store));
+        assert!(pt.accesses_alias(uf, callee_state_load, main, state_store));
+        assert!(!pt.accesses_alias(uf, callee_state_load, main, key_store));
+    }
+
+    #[test]
+    fn pointer_survives_integer_cast_through_spawn() {
+        // The lf-hash pattern: a heap pointer is laundered through a
+        // `long`, crosses a spawn edge, and is cast back in the thread.
+        let m = atomig_frontc::compile(
+            r#"
+            struct Node { long state; long key; };
+            void deleter(long addr) {
+              struct Node *n = (struct Node*)addr;
+              n->key = 0;
+            }
+            int main() {
+              struct Node *n = (struct Node*)malloc(2);
+              n->key = 77;
+              long t = spawn(deleter, (long)n);
+              join(t);
+              return 0;
+            }
+            "#,
+            "t",
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let main = m.func_by_name("main").unwrap();
+        let del = m.func_by_name("deleter").unwrap();
+        let heap_store = |f: FuncId| {
+            m.func(f)
+                .insts()
+                .filter(|(_, i)| matches!(i.kind, InstKind::Store { .. }))
+                .find(|(_, i)| {
+                    pt.cells_of_access(f, i.id)
+                        .iter()
+                        .any(|&c| matches!(pt.cell(c).base, ObjBase::Heap(..)))
+                })
+                .map(|(_, i)| i.id)
+                .unwrap()
+        };
+        let main_key = heap_store(main);
+        let del_key = heap_store(del);
+        assert!(
+            pt.accesses_alias(main, main_key, del, del_key),
+            "the key field aliases across the spawn edge"
+        );
+    }
+
+    #[test]
+    fn distinct_malloc_sites_do_not_alias() {
+        let m = atomig_frontc::compile(
+            r#"
+            int main() {
+              long *a = (long*)malloc(1);
+              long *b = (long*)malloc(1);
+              *a = 1;
+              *b = 2;
+              return 0;
+            }
+            "#,
+            "t",
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let main = m.func_by_name("main").unwrap();
+        let heap_stores: Vec<InstId> = m
+            .func(main)
+            .insts()
+            .filter(|(_, i)| matches!(i.kind, InstKind::Store { .. }))
+            .filter(|(_, i)| {
+                pt.cells_of_access(main, i.id)
+                    .iter()
+                    .any(|&c| matches!(pt.cell(c).base, ObjBase::Heap(..)))
+            })
+            .map(|(_, i)| i.id)
+            .collect();
+        assert_eq!(heap_stores.len(), 2);
+        assert!(!pt.accesses_alias(main, heap_stores[0], main, heap_stores[1]));
+    }
+
+    #[test]
+    fn pointer_through_memory_cell() {
+        // &g is stored into a global pointer slot; a load through the
+        // slot must alias direct accesses of g.
+        let m = atomig_mir::parse_module(
+            r#"
+            global @g: i32 = 0
+            global @slot: ptr i32 = 0
+            fn @setup() : void {
+            bb0:
+              store ptr i32 @g, @slot
+              ret
+            }
+            fn @use() : i32 {
+            bb0:
+              %p = load ptr i32, @slot
+              %v = load i32, %p
+              ret %v
+            }
+            fn @direct() : void {
+            bb0:
+              store i32 9, @g
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let (uf, indirect_load) = first_access(&m, "use", 1);
+        let (df, direct_store) = first_access(&m, "direct", 0);
+        let (_, slot_load) = first_access(&m, "use", 0);
+        assert!(pt.accesses_alias(uf, indirect_load, df, direct_store));
+        assert!(!pt.accesses_alias(uf, slot_load, df, direct_store));
+    }
+
+    #[test]
+    fn returned_pointer_binds_to_caller() {
+        let m = atomig_mir::parse_module(
+            r#"
+            global @g: i32 = 0
+            fn @get() : ptr i32 {
+            bb0:
+              ret @g
+            }
+            fn @use() : i32 {
+            bb0:
+              %p = call ptr i32 @get()
+              %v = load i32, %p
+              ret %v
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let (uf, v_load) = first_access(&m, "use", 0);
+        let cells = pt.cells_of_access(uf, v_load);
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            pt.cell(cells[0]).base,
+            ObjBase::Global(atomig_mir::GlobalId(0))
+        );
+    }
+
+    #[test]
+    fn dynamic_index_wildcards_overlap_constant_indices() {
+        let m = atomig_mir::parse_module(
+            r#"
+            global @table: [8 x i64] = 0
+            fn @any(%i: i64) : i64 {
+            bb0:
+              %a = gep [8 x i64], @table, 0, %i
+              %v = load i64, %a
+              ret %v
+            }
+            fn @third() : void {
+            bb0:
+              %a = gep [8 x i64], @table, 0, 3
+              store i64 1, %a
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let (af, any_load) = first_access(&m, "any", 0);
+        let (tf, third_store) = first_access(&m, "third", 0);
+        assert!(pt.accesses_alias(af, any_load, tf, third_store));
+    }
+
+    #[test]
+    fn private_stack_cells_are_not_shareable() {
+        let m = atomig_mir::parse_module(
+            r#"
+            fn @g(%p: ptr i32) : void {
+            bb0:
+              store i32 1, %p
+              ret
+            }
+            fn @f() : i32 {
+            bb0:
+              %private = alloca i32
+              %escaped = alloca i32
+              store i32 0, %private
+              call void @g(%escaped)
+              %v = load i32, %private
+              ret %v
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        let ff = m.func_by_name("f").unwrap();
+        let (_, priv_store) = first_access(&m, "f", 0);
+        let priv_cells = pt.cells_of_access(ff, priv_store);
+        assert_eq!(priv_cells.len(), 1);
+        assert!(!pt.is_shareable(priv_cells[0]));
+        // The escaped slot is accessed in @g through the bound parameter.
+        let (gf, g_store) = first_access(&m, "g", 0);
+        let g_cells = pt.cells_of_access(gf, g_store);
+        assert_eq!(g_cells.len(), 1);
+        assert!(pt.is_shareable(g_cells[0]));
+        assert!(matches!(pt.cell(g_cells[0]).base, ObjBase::Stack(..)));
+    }
+
+    #[test]
+    fn path_truncation_terminates_and_summarizes() {
+        // A gep feeding itself through a memory cell would grow paths
+        // forever without the MAX_PATH cap.
+        let m = atomig_mir::parse_module(
+            r#"
+            struct %N { i64, ptr %N }
+            global @head: ptr %N = 0
+            fn @walk() : void {
+            bb0:
+              %p = load ptr %N, @head
+              br loop
+            loop:
+              %q = gep %N, %p, 0, 1
+              %n = load ptr %N, %q
+              store ptr %N %n, @head
+              br loop
+            }
+            "#,
+        )
+        .unwrap();
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.stats.cells < 100, "cell universe stays bounded");
+    }
+
+    #[test]
+    fn sparse_bitset_basics() {
+        let mut a = SparseBitSet::default();
+        assert!(a.insert(3));
+        assert!(!a.insert(3));
+        assert!(a.insert(64));
+        assert!(a.insert(1000));
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(64) && !a.contains(65));
+        let mut b = SparseBitSet::default();
+        b.insert(64);
+        b.insert(2);
+        assert_eq!(a.difference(&b), vec![3, 1000]);
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![2, 3, 64, 1000]);
+    }
+}

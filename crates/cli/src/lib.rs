@@ -11,18 +11,21 @@
 //! $ atomig lint prog.c              # static WMM-robustness audit
 //! ```
 
-use atomig_core::{lint_module, AtomigConfig, LintRule, Pipeline, Stage};
+use atomig_core::{lint_module, AliasMode, AtomigConfig, LintRule, Pipeline, Stage};
 use atomig_wmm::{Checker, CostModel, ModelKind};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    /// `atomig port <file> [--stage s] [--report] [--naive|--lasagne]`
+    /// `atomig port <file> [--stage s] [--alias a] [--report]
+    /// [--naive|--lasagne]`
     Port {
         /// Input path.
         file: String,
         /// Detection stage.
         stage: Stage,
+        /// Alias backend for sticky-buddy expansion.
+        alias: AliasMode,
         /// Print the report instead of the transformed IR.
         report_only: bool,
         /// Apply the Naïve baseline instead of AtoMig.
@@ -46,12 +49,14 @@ pub enum Command {
         /// Port with full AtoMig before running.
         ported: bool,
     },
-    /// `atomig lint <file> [--ported] [--deny rule]*`
+    /// `atomig lint <file> [--ported] [--alias a] [--deny rule]*`
     Lint {
         /// Input path.
         file: String,
         /// Port with full AtoMig before auditing (should then be clean).
         ported: bool,
+        /// Alias backend mirrored by the fence-placement dry run.
+        alias: AliasMode,
         /// Rules whose findings make the exit status non-zero.
         deny: Vec<LintRule>,
     },
@@ -65,18 +70,21 @@ atomig — port legacy x86 (TSO) programs to weak memory models
 
 USAGE:
     atomig port  <file.c> [--stage original|expl|spin|full] [--report]
+                          [--alias type-based|points-to]
                           [--naive | --lasagne]
     atomig check <file.c> [--model sc|tso|wmm|arm] [--ported]
     atomig run   <file.c> [--ported]
-    atomig lint  <file.c> [--ported]
-                          [--deny shared-plain-access|fence-placement]
+    atomig lint  <file.c> [--ported] [--alias type-based|points-to]
+                          [--deny race-candidate|fence-placement]
 
 `port` prints the transformed IR (or, with --report, the Table-3 style
 porting statistics). `check` exhaustively model-checks @main and reports
 the first assertion violation. `run` executes @main deterministically and
 prints the Armv8 cost-model summary. `lint` statically audits the module
 for WMM-portability hazards and prints sourced diagnostics; findings for
-a --deny'd rule make the exit status non-zero (for CI).";
+a --deny'd rule make the exit status non-zero (for CI). `--alias` picks
+the buddy-expansion backend: the paper's type-based keys (default) or the
+Andersen-style points-to analysis.";
 
 /// Parses a command line (without the program name).
 ///
@@ -94,6 +102,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "port" => {
             let mut file = None;
             let mut stage = Stage::Full;
+            let mut alias = AliasMode::TypeBased;
             let mut report_only = false;
             let mut naive = false;
             let mut lasagne = false;
@@ -106,6 +115,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--stage needs a value")?;
                         stage = parse_stage(v)?;
                     }
+                    "--alias" => {
+                        let v = it.next().ok_or("--alias needs a value")?;
+                        alias = parse_alias(v)?;
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -116,6 +129,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Port {
                 file: file.ok_or("port: missing input file")?,
                 stage,
+                alias,
                 report_only,
                 naive,
                 lasagne,
@@ -160,10 +174,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "lint" => {
             let mut file = None;
             let mut ported = false;
+            let mut alias = AliasMode::TypeBased;
             let mut deny = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--ported" => ported = true,
+                    "--alias" => {
+                        let v = it.next().ok_or("--alias needs a value")?;
+                        alias = parse_alias(v)?;
+                    }
                     "--deny" => {
                         let v = it.next().ok_or("--deny needs a value")?;
                         let rule = LintRule::from_name(v).ok_or_else(|| {
@@ -183,6 +202,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Lint {
                 file: file.ok_or("lint: missing input file")?,
                 ported,
+                alias,
                 deny,
             })
         }
@@ -206,6 +226,11 @@ fn parse_stage(s: &str) -> Result<Stage, String> {
             ))
         }
     })
+}
+
+fn parse_alias(s: &str) -> Result<AliasMode, String> {
+    AliasMode::from_name(s)
+        .ok_or_else(|| format!("unknown alias mode `{s}` (accepted: type-based, points-to)"))
 }
 
 fn parse_model(s: &str) -> Result<ModelKind, String> {
@@ -242,6 +267,7 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
         Command::Help => Ok(USAGE.to_string()),
         Command::Port {
             stage,
+            alias,
             report_only,
             naive,
             lasagne,
@@ -261,7 +287,9 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                     stats.fences_inserted, stats.fences_removed
                 )
             } else {
-                let report = Pipeline::new(config_for(*stage)).port_module(&mut module);
+                let mut cfg = config_for(*stage);
+                cfg.alias_mode = *alias;
+                let report = Pipeline::new(cfg).port_module(&mut module);
                 format!("{report}")
             };
             atomig_mir::verify_module(&module).map_err(|e| e.to_string())?;
@@ -288,12 +316,19 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 Ok(format!("{model}: {verdict}"))
             }
         }
-        Command::Lint { ported, deny, .. } => {
+        Command::Lint {
+            ported,
+            alias,
+            deny,
+            ..
+        } => {
             let mut module = atomig_frontc::compile(source, name)?;
+            let mut cfg = AtomigConfig::full();
+            cfg.alias_mode = *alias;
             if *ported {
-                Pipeline::new(AtomigConfig::full()).port_module(&mut module);
+                Pipeline::new(cfg.clone()).port_module(&mut module);
             }
-            let report = lint_module(&module, &AtomigConfig::full());
+            let report = lint_module(&module, &cfg);
             let out = report.to_string();
             let denied: Vec<&LintRule> = deny.iter().filter(|r| report.count(**r) > 0).collect();
             if !denied.is_empty() {
@@ -365,7 +400,19 @@ mod tests {
             Command::Port {
                 file: "a.c".into(),
                 stage: Stage::Spin,
+                alias: AliasMode::TypeBased,
                 report_only: true,
+                naive: false,
+                lasagne: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("port a.c --alias points-to")).unwrap(),
+            Command::Port {
+                file: "a.c".into(),
+                stage: Stage::Full,
+                alias: AliasMode::PointsTo,
+                report_only: false,
                 naive: false,
                 lasagne: false,
             }
@@ -435,23 +482,43 @@ mod tests {
         let err = parse_args(&args("lint a.c --deny everything")).unwrap_err();
         assert!(err.contains("everything"), "{err}");
         assert!(
-            err.contains("shared-plain-access") && err.contains("fence-placement"),
+            err.contains("race-candidate") && err.contains("fence-placement"),
             "{err}"
         );
+        let err = parse_args(&args("port a.c --alias bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(
+            err.contains("type-based") && err.contains("points-to"),
+            "{err}"
+        );
+        let err = parse_args(&args("lint a.c --alias precise")).unwrap_err();
+        assert!(err.contains("precise"), "{err}");
     }
 
     #[test]
     fn parses_lint_command() {
+        // `shared-plain-access` is the legacy alias of `race-candidate`.
         assert_eq!(
             parse_args(&args("lint a.c --ported --deny shared-plain-access")).unwrap(),
             Command::Lint {
                 file: "a.c".into(),
                 ported: true,
-                deny: vec![LintRule::SharedPlainAccess],
+                alias: AliasMode::TypeBased,
+                deny: vec![LintRule::RaceCandidate],
+            }
+        );
+        assert_eq!(
+            parse_args(&args("lint a.c --alias points-to --deny race-candidate")).unwrap(),
+            Command::Lint {
+                file: "a.c".into(),
+                ported: false,
+                alias: AliasMode::PointsTo,
+                deny: vec![LintRule::RaceCandidate],
             }
         );
         assert!(parse_args(&args("lint")).is_err());
         assert!(parse_args(&args("lint a.c --deny")).is_err());
+        assert!(parse_args(&args("lint a.c --alias")).is_err());
         assert!(parse_args(&args("lint a.c --bogus")).is_err());
     }
 

@@ -8,6 +8,7 @@
 //! inter-procedural alias analysis exhausts memory (§3.5).
 
 use crate::annotations::loc_of;
+use atomig_analysis::PointsTo;
 use atomig_mir::{FuncId, InstId, MemLoc, Module};
 use std::collections::HashMap;
 
@@ -15,11 +16,58 @@ use std::collections::HashMap;
 ///
 /// Built once during initialization (the paper: "we only have to populate
 /// this map once"); queries are `O(1)` map lookups.
+///
+/// Two backends fill it (selected by
+/// [`AliasMode`](crate::config::AliasMode)):
+///
+/// * [`AliasMap::build`] — the paper's type-based keys; only the
+///   [`MemLoc`]-keyed `map` is populated.
+/// * [`AliasMap::build_points_to`] — equivalence classes of accesses whose
+///   points-to cells overlap; `classes` and per-access lookup are
+///   populated and [`AliasMap::buddies_of_access`] replaces key lookups.
 #[derive(Debug, Clone, Default)]
 pub struct AliasMap {
     map: HashMap<MemLoc, Vec<(FuncId, InstId)>>,
+    /// Overlap classes of shareable accesses (points-to backend only).
+    classes: Vec<Vec<(FuncId, InstId)>>,
+    /// Class index of each classified access (points-to backend only).
+    access_class: HashMap<(FuncId, InstId), usize>,
     /// Number of memory accesses scanned (diagnostics).
     pub accesses_scanned: usize,
+}
+
+/// Union-find over dense `u32` ids.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        let mut c = x;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
 }
 
 impl AliasMap {
@@ -50,12 +98,119 @@ impl AliasMap {
         AliasMap {
             map,
             accesses_scanned,
+            ..AliasMap::default()
+        }
+    }
+
+    /// Builds overlap classes from a solved [`PointsTo`] analysis.
+    ///
+    /// Every memory access whose address resolves to at least one
+    /// *shareable* cell (a global, a heap object, or an escaping stack
+    /// slot) is placed in an equivalence class with every access it may
+    /// alias: the access's own cells are unioned together, and cells of
+    /// the same allocation site whose field paths may overlap are unioned
+    /// pairwise. The classes are the points-to analogue of the type-based
+    /// buddy lists — strictly finer on aliased handles (distinct globals
+    /// of the same struct type land in distinct classes) and on distinct
+    /// allocation sites.
+    pub fn build_points_to(m: &Module, pt: &PointsTo) -> AliasMap {
+        let mut accesses_scanned = 0;
+        // Collect classified accesses and the cells they use.
+        let mut entries: Vec<((FuncId, InstId), Vec<atomig_analysis::CellId>)> = Vec::new();
+        let mut used_cells: Vec<atomig_analysis::CellId> = Vec::new();
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            for (_, inst) in func.insts() {
+                if !inst.kind.is_memory_access() {
+                    continue;
+                }
+                accesses_scanned += 1;
+                let cells: Vec<_> = pt
+                    .cells_of_access(fid, inst.id)
+                    .iter()
+                    .copied()
+                    .filter(|&c| pt.is_shareable(c))
+                    .collect();
+                if !cells.is_empty() {
+                    used_cells.extend(cells.iter().copied());
+                    entries.push(((fid, inst.id), cells));
+                }
+            }
+        }
+        used_cells.sort_unstable();
+        used_cells.dedup();
+
+        // Union overlapping cells (grouped by base: only same-base cells
+        // can overlap, so the quadratic pass stays per-site small).
+        let mut uf = UnionFind::new(pt.cell_count());
+        let mut by_base: HashMap<atomig_analysis::ObjBase, Vec<atomig_analysis::CellId>> =
+            HashMap::new();
+        for &c in &used_cells {
+            by_base.entry(pt.cell(c).base).or_default().push(c);
+        }
+        for group in by_base.values() {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    if pt.cells_overlap(a, b) {
+                        uf.union(a.0, b.0);
+                    }
+                }
+            }
+        }
+        // An access with several candidate cells bridges all of them.
+        for (_, cells) in &entries {
+            for w in cells.windows(2) {
+                uf.union(w[0].0, w[1].0);
+            }
+        }
+
+        // Group accesses by class root.
+        let mut class_of_root: HashMap<u32, usize> = HashMap::new();
+        let mut classes: Vec<Vec<(FuncId, InstId)>> = Vec::new();
+        let mut access_class = HashMap::new();
+        for (acc, cells) in &entries {
+            let root = uf.find(cells[0].0);
+            let idx = *class_of_root.entry(root).or_insert_with(|| {
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            classes[idx].push(*acc);
+            access_class.insert(*acc, idx);
+        }
+        for class in &mut classes {
+            class.sort_unstable_by_key(|&(f, i)| (f.0, i.0));
+        }
+        AliasMap {
+            map: HashMap::new(),
+            classes,
+            access_class,
+            accesses_scanned,
         }
     }
 
     /// All accesses sharing the alias key `loc` (the sticky buddies).
     pub fn buddies(&self, loc: &MemLoc) -> &[(FuncId, InstId)] {
         self.map.get(loc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The overlap class of an access (points-to backend). Empty when the
+    /// access was not classified — its address never resolves to a
+    /// shareable cell — or when the map was built type-based.
+    pub fn buddies_of_access(&self, f: FuncId, i: InstId) -> &[(FuncId, InstId)] {
+        self.access_class
+            .get(&(f, i))
+            .map(|&idx| self.classes[idx].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All overlap classes (points-to backend).
+    pub fn classes(&self) -> &[Vec<(FuncId, InstId)>] {
+        &self.classes
+    }
+
+    /// Number of overlap classes (points-to backend).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
     }
 
     /// Number of distinct alias keys.
@@ -233,5 +388,104 @@ mod tests {
         assert_eq!(am.buddies(&MemLoc::Field(StructId(0), vec![0])).len(), 1);
         assert_eq!(am.buddies(&MemLoc::Pointee(atomig_mir::Type::I64)).len(), 1);
         assert_eq!(am.key_count(), 2);
+    }
+
+    /// The headline precision win: two globals of the same struct type
+    /// handled through pointer parameters. Type-based keys merge every
+    /// `h->field0` access into one `Field` bucket; points-to keeps the
+    /// two handles apart.
+    #[test]
+    fn points_to_classes_split_aliased_handles() {
+        let src = r#"
+        struct %S { i64, i64 }
+        global @a: %S = 0
+        global @b: %S = 0
+        fn @ta(%h: ptr %S) : void {
+        bb0:
+          %f = gep %S, %h, 0, 0
+          store i64 1, %f
+          ret
+        }
+        fn @tb(%h: ptr %S) : void {
+        bb0:
+          %f = gep %S, %h, 0, 0
+          store i64 2, %f
+          ret
+        }
+        fn @main() : void {
+        bb0:
+          call void @ta(@a)
+          call void @tb(@b)
+          ret
+        }
+        "#;
+        let m = parse_module(src).unwrap();
+        // Type-based: one shared Field(S, [0]) bucket with both stores.
+        let tb = AliasMap::build(&m, false);
+        assert_eq!(tb.buddies(&MemLoc::Field(StructId(0), vec![0])).len(), 2);
+        // Points-to: the two stores land in distinct classes.
+        let pt = atomig_analysis::PointsTo::analyze(&m);
+        let am = AliasMap::build_points_to(&m, &pt);
+        assert_eq!(am.class_count(), 2);
+        let ta = m.func_by_name("ta").unwrap();
+        let store_in = |f| {
+            m.func(f)
+                .insts()
+                .find(|(_, i)| i.kind.may_write())
+                .map(|(_, i)| i.id)
+                .unwrap()
+        };
+        assert_eq!(am.buddies_of_access(ta, store_in(ta)).len(), 1);
+    }
+
+    #[test]
+    fn points_to_classes_are_field_sensitive_and_skip_private_stack() {
+        let src = r#"
+        struct %S { i64, i64 }
+        global @g: %S = 0
+        fn @f() : i64 {
+        bb0:
+          %x = alloca i64
+          store i64 0, %x
+          %a = gep %S, @g, 0, 0
+          store i64 1, %a
+          %b = gep %S, @g, 0, 1
+          %v = load i64, %b
+          %w = load i64, %x
+          ret %w
+        }
+        fn @other() : i64 {
+        bb0:
+          %a = gep %S, @g, 0, 0
+          %v = load i64, %a
+          ret %v
+        }
+        "#;
+        let m = parse_module(src).unwrap();
+        let pt = atomig_analysis::PointsTo::analyze(&m);
+        let am = AliasMap::build_points_to(&m, &pt);
+        // g.0 (two accesses across functions) and g.1 form separate
+        // classes; the private alloca is not classified at all.
+        assert_eq!(am.class_count(), 2);
+        assert_eq!(am.accesses_scanned, 5);
+        let f = m.func_by_name("f").unwrap();
+        let other = m.func_by_name("other").unwrap();
+        let f_field0_store = m
+            .func(f)
+            .insts()
+            .filter(|(_, i)| i.kind.may_write())
+            .nth(1)
+            .map(|(_, i)| i.id)
+            .unwrap();
+        let class = am.buddies_of_access(f, f_field0_store);
+        assert_eq!(class.len(), 2, "g.0 store pairs with the load in @other");
+        assert!(class.iter().any(|&(fid, _)| fid == other));
+        let alloca_store = m
+            .func(f)
+            .insts()
+            .find(|(_, i)| i.kind.may_write())
+            .map(|(_, i)| i.id)
+            .unwrap();
+        assert!(am.buddies_of_access(f, alloca_store).is_empty());
     }
 }

@@ -19,6 +19,40 @@ pub enum Stage {
     Full,
 }
 
+/// Which alias backend sticky-buddy expansion (§3.4) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AliasMode {
+    /// The paper's scalable scheme: accesses are keyed by global or by
+    /// `getelementptr` type+constant-offsets, and equal keys are assumed
+    /// to alias. Constant-time per query; over-approximates.
+    #[default]
+    TypeBased,
+    /// Andersen-style inter-procedural points-to sets
+    /// ([`atomig_analysis::PointsTo`]): buddies are accesses whose
+    /// points-to cells overlap. Strictly more precise on aliased handles
+    /// and distinct allocation sites; costs a module-wide fixpoint.
+    PointsTo,
+}
+
+impl AliasMode {
+    /// The CLI-facing name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AliasMode::TypeBased => "type-based",
+            AliasMode::PointsTo => "points-to",
+        }
+    }
+
+    /// Parses a CLI-facing name.
+    pub fn from_name(s: &str) -> Option<AliasMode> {
+        match s {
+            "type-based" => Some(AliasMode::TypeBased),
+            "points-to" => Some(AliasMode::PointsTo),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the AtoMig pipeline.
 #[derive(Debug, Clone)]
 pub struct AtomigConfig {
@@ -27,6 +61,8 @@ pub struct AtomigConfig {
     /// Run module-wide sticky-buddy expansion (§3.4). On for every stage
     /// except `Original`; exposed separately for ablation benchmarks.
     pub alias_exploration: bool,
+    /// Alias backend used for buddy expansion.
+    pub alias_mode: AliasMode,
     /// Inline small functions first so cross-function loops are analyzable
     /// (§3.5).
     pub inline: bool,
@@ -53,6 +89,7 @@ impl AtomigConfig {
         AtomigConfig {
             stage: Stage::Original,
             alias_exploration: false,
+            alias_mode: AliasMode::TypeBased,
             inline: false,
             inline_options: InlineOptions::default(),
             pointee_buddies: false,
@@ -82,6 +119,7 @@ impl AtomigConfig {
         AtomigConfig {
             stage: Stage::Full,
             alias_exploration: true,
+            alias_mode: AliasMode::TypeBased,
             inline: true,
             inline_options: InlineOptions::default(),
             pointee_buddies: false,
@@ -115,5 +153,14 @@ mod tests {
         assert_eq!(AtomigConfig::explicit_only().stage, Stage::Explicit);
         assert!(AtomigConfig::spin().alias_exploration);
         assert_eq!(AtomigConfig::default().stage, Stage::Full);
+        assert_eq!(AtomigConfig::default().alias_mode, AliasMode::TypeBased);
+    }
+
+    #[test]
+    fn alias_mode_names_round_trip() {
+        for mode in [AliasMode::TypeBased, AliasMode::PointsTo] {
+            assert_eq!(AliasMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(AliasMode::from_name("precise"), None);
     }
 }

@@ -66,7 +66,7 @@ pub mod spinloop;
 pub mod transform;
 
 pub use alias::AliasMap;
-pub use config::{AtomigConfig, Stage};
+pub use config::{AliasMode, AtomigConfig, Stage};
 pub use lasagne::lasagne_port;
 pub use lint::{lint_module, Lint, LintReport, LintRule, Severity};
 pub use naive::naive_port;

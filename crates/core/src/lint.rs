@@ -15,35 +15,37 @@
 //!    clean by the transform's idempotence; the original module gets one
 //!    finding per missing upgrade, i.e. "the port would fix this here".
 //!
-//! 2. **shared-plain-access** — combines [`ThreadReach`] (which
-//!    functions can run on ≥2 threads), per-function [`EscapeInfo`], and
-//!    the [`AliasMap`] keys to find non-local locations reached from two
-//!    thread contexts where at least one access is a plain store — race
-//!    candidates the pipeline did *not* promote. A plain access is
-//!    exempt ("covered") when its enclosing function already contains
-//!    realized synchronization (a `seq_cst` access or fence), the
-//!    pragmatic heuristic for "guarded by a lock or flag the port made
-//!    SC". Coverage is per-function, not per-path, so it has known
-//!    false negatives (sync in an unrelated branch of the same function)
-//!    and false positives (sync in the caller); see DESIGN.md.
+//! 2. **race-candidate** — a genuinely semantic race detector: it
+//!    intersects [`ThreadReach`] (which thread roots can reach each
+//!    function) with [`PointsTo`] overlap classes
+//!    ([`AliasMap::build_points_to`]). A class fires when two distinct
+//!    thread roots reach *aliasing* accesses of which at least one is a
+//!    plain store; within a firing class, every plain access that is not
+//!    *covered* by realized synchronization is reported. Coverage is
+//!    instruction-granular and direction-agnostic: an access is covered
+//!    when a `seq_cst` access or fence executes before it on **every**
+//!    path from the entry, or after it on **every** path to the exit
+//!    (must-dataflow over the CFG), the static shape of
+//!    acquire-before-read and release-after-write protocols.
 //!
 //! Every finding carries the source span threaded through lowering, the
-//! alias key, and explanation notes saying *why* the pipeline did or
-//! did not promote the location (no spin-exit dependency, pointee-typed
-//! key with `pointee_buddies` off, …).
+//! alias key, the points-to cells the access may touch, and explanation
+//! notes saying *why* the pipeline did or did not promote the location
+//! (no spin-exit dependency, pointee-typed key with `pointee_buddies`
+//! off, nearest non-covering synchronization, …).
 //!
 //! [`Pipeline::port_module`]: crate::Pipeline::port_module
 //! [`ThreadReach`]: atomig_analysis::ThreadReach
-//! [`EscapeInfo`]: atomig_analysis::EscapeInfo
-//! [`AliasMap`]: crate::AliasMap
+//! [`PointsTo`]: atomig_analysis::PointsTo
+//! [`AliasMap::build_points_to`]: crate::AliasMap::build_points_to
 
 use crate::alias::AliasMap;
 use crate::annotations::{loc_of, scan_annotations};
-use crate::config::{AtomigConfig, Stage};
+use crate::config::{AliasMode, AtomigConfig, Stage};
 use crate::optimistic::detect_optimistic;
 use crate::spinloop::detect_spinloops;
-use atomig_analysis::{EscapeInfo, InfluenceAnalysis, ThreadReach};
-use atomig_mir::{FuncId, InstId, InstKind, MemLoc, Module, Ordering};
+use atomig_analysis::{Cfg, InfluenceAnalysis, PointsTo, ThreadReach};
+use atomig_mir::{FuncId, Function, InstId, InstKind, MemLoc, Module, Ordering};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
@@ -51,9 +53,10 @@ use std::time::Instant;
 /// The rules `atomig lint` checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LintRule {
-    /// A non-local location reached from ≥2 thread contexts with at
-    /// least one plain store and an uncovered plain access.
-    SharedPlainAccess,
+    /// Two thread roots reach aliasing accesses (points-to overlap) with
+    /// ≥1 plain store, and a plain access is not covered by
+    /// synchronization on every path before or after it.
+    RaceCandidate,
     /// A mark the pipeline would compute that the module does not
     /// realize (missing SC upgrade or missing explicit fence).
     FencePlacement,
@@ -63,22 +66,23 @@ impl LintRule {
     /// The kebab-case rule name used on the command line.
     pub fn name(&self) -> &'static str {
         match self {
-            LintRule::SharedPlainAccess => "shared-plain-access",
+            LintRule::RaceCandidate => "race-candidate",
             LintRule::FencePlacement => "fence-placement",
         }
     }
 
-    /// Parses a rule name.
+    /// Parses a rule name. `shared-plain-access` is accepted as the
+    /// legacy alias of `race-candidate` (the rule it grew out of).
     pub fn from_name(s: &str) -> Option<LintRule> {
         Some(match s {
-            "shared-plain-access" => LintRule::SharedPlainAccess,
+            "race-candidate" | "shared-plain-access" => LintRule::RaceCandidate,
             "fence-placement" => LintRule::FencePlacement,
             _ => return None,
         })
     }
 
     /// All rules, for "accepted values" error messages.
-    pub const ALL: &'static [LintRule] = &[LintRule::SharedPlainAccess, LintRule::FencePlacement];
+    pub const ALL: &'static [LintRule] = &[LintRule::RaceCandidate, LintRule::FencePlacement];
 }
 
 impl fmt::Display for LintRule {
@@ -221,8 +225,6 @@ struct DryRun {
     fence_after: HashMap<FuncId, HashSet<InstId>>,
     seed_locs: HashSet<MemLoc>,
     optimistic_locs: HashSet<MemLoc>,
-    /// Locations participating in any detected pattern or seeded bucket.
-    pattern_locs: HashSet<MemLoc>,
 }
 
 impl DryRun {
@@ -233,16 +235,18 @@ impl DryRun {
 }
 
 /// Mirrors [`Pipeline::port_module`]'s detection passes without touching
-/// the module.
+/// the module. `am_pt` is the points-to alias map used when
+/// `config.alias_mode` selects the points-to backend.
 ///
 /// [`Pipeline::port_module`]: crate::Pipeline::port_module
-fn dry_run(m: &Module, config: &AtomigConfig) -> DryRun {
+fn dry_run(m: &Module, config: &AtomigConfig, am_pt: &AliasMap) -> DryRun {
     let mut d = DryRun::default();
     if config.stage == Stage::Original {
         return d;
     }
     let pointee = config.pointee_buddies;
     let seedable = |l: &MemLoc| l.is_buddy_key() || (pointee && matches!(l, MemLoc::Pointee(_)));
+    let mut optimistic_accesses: Vec<(FuncId, InstId)> = Vec::new();
 
     for fid in m.func_ids() {
         let func = m.func(fid);
@@ -271,7 +275,6 @@ fn dry_run(m: &Module, config: &AtomigConfig) -> DryRun {
                 d.mark_sc(fid, c, MarkOrigin::SpinControl);
             }
             for l in &s.control_locs {
-                d.pattern_locs.insert(l.clone());
                 if seedable(l) {
                     d.seed_locs.insert(l.clone());
                 }
@@ -287,10 +290,10 @@ fn dry_run(m: &Module, config: &AtomigConfig) -> DryRun {
                 if matches!(index.get(&c), Some(InstKind::Load { .. })) {
                     d.fence_before.entry(fid).or_default().insert(c);
                 }
+                optimistic_accesses.push((fid, c));
             }
             for l in &o.control_locs {
                 d.optimistic_locs.insert(l.clone());
-                d.pattern_locs.insert(l.clone());
                 if seedable(l) {
                     d.seed_locs.insert(l.clone());
                 }
@@ -298,33 +301,173 @@ fn dry_run(m: &Module, config: &AtomigConfig) -> DryRun {
         }
     }
 
-    if config.alias_exploration {
-        let am = AliasMap::build(m, pointee);
-        for loc in &d.seed_locs.clone() {
-            d.pattern_locs.insert(loc.clone());
-            for &(f, i) in am.buddies(loc) {
-                d.mark_sc(f, i, MarkOrigin::Buddy);
+    match config.alias_mode {
+        AliasMode::TypeBased => {
+            if config.alias_exploration {
+                let am = AliasMap::build(m, pointee);
+                for loc in &d.seed_locs.clone() {
+                    for &(f, i) in am.buddies(loc) {
+                        d.mark_sc(f, i, MarkOrigin::Buddy);
+                    }
+                }
+            }
+            if !d.optimistic_locs.is_empty() {
+                for fid in m.func_ids() {
+                    let func = m.func(fid);
+                    let index = func.inst_index();
+                    for (_, inst) in func.insts() {
+                        if !inst.kind.may_write() || !inst.kind.is_memory_access() {
+                            continue;
+                        }
+                        let loc = loc_of(func, &index, &inst.kind);
+                        if d.optimistic_locs.contains(&loc) {
+                            d.fence_after.entry(fid).or_default().insert(inst.id);
+                            d.mark_sc(fid, inst.id, MarkOrigin::OptimisticStore);
+                        }
+                    }
+                }
             }
         }
-    }
-
-    if !d.optimistic_locs.is_empty() {
-        for fid in m.func_ids() {
-            let func = m.func(fid);
-            let index = func.inst_index();
-            for (_, inst) in func.insts() {
-                if !inst.kind.may_write() || !inst.kind.is_memory_access() {
-                    continue;
+        AliasMode::PointsTo => {
+            if config.alias_exploration {
+                let mut seeds: Vec<(FuncId, InstId)> =
+                    d.sc.iter()
+                        .flat_map(|(&f, is)| is.keys().map(move |&i| (f, i)))
+                        .collect();
+                seeds.extend(optimistic_accesses.iter().copied());
+                for (f, i) in seeds {
+                    for &(bf, bi) in am_pt.buddies_of_access(f, i) {
+                        d.mark_sc(bf, bi, MarkOrigin::Buddy);
+                    }
                 }
-                let loc = loc_of(func, &index, &inst.kind);
-                if d.optimistic_locs.contains(&loc) {
-                    d.fence_after.entry(fid).or_default().insert(inst.id);
-                    d.mark_sc(fid, inst.id, MarkOrigin::OptimisticStore);
+            }
+            if !optimistic_accesses.is_empty() {
+                for &(f, i) in &optimistic_accesses {
+                    for &(bf, bi) in am_pt.buddies_of_access(f, i) {
+                        let kind = m
+                            .func(bf)
+                            .insts()
+                            .find(|(_, inst)| inst.id == bi)
+                            .map(|(_, inst)| &inst.kind);
+                        if kind.is_some_and(|k| k.is_memory_access() && k.may_write()) {
+                            d.fence_after.entry(bf).or_default().insert(bi);
+                            d.mark_sc(bf, bi, MarkOrigin::OptimisticStore);
+                        }
+                    }
                 }
             }
         }
     }
     d
+}
+
+/// Instruction-granular synchronization coverage of one function.
+///
+/// A *sync point* is a realized `seq_cst` access or `seq_cst` fence. An
+/// access is covered when a sync point executes before it on every path
+/// from the entry (the acquire shape), or after it on every path to the
+/// exit (the release shape). Both directions are must-dataflows over the
+/// CFG at block granularity, exact because blocks are straight-line:
+///
+/// * forward: `in[entry] = false`, `in[b] = ⋀ over preds p of
+///   (has_sync(p) ∨ in[p])`,
+/// * backward: `out[b] = false` for exit blocks, else `⋀ over succs s of
+///   (has_sync(s) ∨ out[s])`,
+///
+/// both initialized to `true` and iterated down to the greatest fixpoint
+/// (loops converge because the transfer functions are monotone on the
+/// two-point lattice). Within a block, position decides.
+struct Coverage {
+    /// Positions of sync points per block, ascending.
+    sync_pos: Vec<Vec<usize>>,
+    in_cov: Vec<bool>,
+    out_cov: Vec<bool>,
+    /// Source spans of sync points (for "nearest sync" notes).
+    sync_spans: Vec<u32>,
+}
+
+impl Coverage {
+    fn new(func: &Function) -> Coverage {
+        let cfg = Cfg::new(func);
+        let n = func.blocks.len();
+        let mut sync_pos = vec![Vec::new(); n];
+        let mut sync_spans = Vec::new();
+        for (bi, b) in func.blocks.iter().enumerate() {
+            for (pos, inst) in b.insts.iter().enumerate() {
+                let is_sync = matches!(
+                    inst.kind,
+                    InstKind::Fence {
+                        ord: Ordering::SeqCst
+                    }
+                ) || inst.kind.ordering() == Some(Ordering::SeqCst);
+                if is_sync {
+                    sync_pos[bi].push(pos);
+                    if inst.span != 0 {
+                        sync_spans.push(inst.span);
+                    }
+                }
+            }
+        }
+        let has_sync: Vec<bool> = sync_pos.iter().map(|v| !v.is_empty()).collect();
+
+        let mut in_cov = vec![true; n];
+        let mut out_cov = vec![true; n];
+        loop {
+            let mut changed = false;
+            for bi in 0..n {
+                let b = atomig_mir::BlockId(bi as u32);
+                let preds = cfg.preds(b);
+                // Entry and unreachable blocks have no sync "behind" them.
+                let new_in = !preds.is_empty()
+                    && preds
+                        .iter()
+                        .all(|p| has_sync[p.0 as usize] || in_cov[p.0 as usize]);
+                if new_in != in_cov[bi] {
+                    in_cov[bi] = new_in;
+                    changed = true;
+                }
+                let succs = cfg.succs(b);
+                let new_out = !succs.is_empty()
+                    && succs
+                        .iter()
+                        .all(|s| has_sync[s.0 as usize] || out_cov[s.0 as usize]);
+                if new_out != out_cov[bi] {
+                    out_cov[bi] = new_out;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Coverage {
+            sync_pos,
+            in_cov,
+            out_cov,
+            sync_spans,
+        }
+    }
+
+    /// Whether the function contains any sync point at all.
+    fn has_any_sync(&self) -> bool {
+        self.sync_pos.iter().any(|v| !v.is_empty())
+    }
+
+    /// Whether the instruction at `(block index, position)` is covered.
+    fn covered(&self, bi: usize, pos: usize) -> bool {
+        let before = self.sync_pos[bi].iter().any(|&p| p < pos) || self.in_cov[bi];
+        let after = self.sync_pos[bi].iter().any(|&p| p > pos) || self.out_cov[bi];
+        before || after
+    }
+
+    /// The span of a sync point nearest to source line `span` (for the
+    /// "does not cover this access" note).
+    fn nearest_sync_span(&self, span: u32) -> Option<u32> {
+        self.sync_spans
+            .iter()
+            .copied()
+            .min_by_key(|&s| s.abs_diff(span))
+    }
 }
 
 /// One audited memory access.
@@ -333,8 +476,12 @@ struct Access {
     fid: FuncId,
     inst: InstId,
     span: u32,
+    loc: MemLoc,
     write: bool,
     plain: bool,
+    /// Block index and in-block position, for coverage queries.
+    bi: usize,
+    pos: usize,
 }
 
 /// Audits `m` against the transform's contract and the race-candidate
@@ -348,7 +495,9 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
         ..LintReport::default()
     };
 
-    let d = dry_run(m, config);
+    let pt = PointsTo::analyze(m);
+    let am_pt = AliasMap::build_points_to(m, &pt);
+    let d = dry_run(m, config, &am_pt);
     let reach = ThreadReach::new(m);
     report.thread_roots = reach.roots.len();
 
@@ -428,83 +577,115 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
         }
     }
 
-    // ---- Rule: shared-plain-access -------------------------------------
-    // Group non-local accesses by alias key; flag keys reached from ≥2
-    // thread contexts with ≥1 plain store and an uncovered plain access.
-    let mut by_loc: HashMap<MemLoc, Vec<Access>> = HashMap::new();
-    let mut covered: HashMap<FuncId, bool> = HashMap::new();
+    // ---- Rule: race-candidate ------------------------------------------
+    // Intersect thread reachability with points-to overlap: a class of
+    // mutually aliasing accesses fires when two distinct thread roots
+    // reach it and a plain store is concurrent with another access.
+    // Within a firing class, every plain access not covered by realized
+    // synchronization (instruction-granular, either direction) is
+    // reported.
+    let mut info: HashMap<(FuncId, InstId), Access> = HashMap::new();
+    let mut coverage: HashMap<FuncId, Coverage> = HashMap::new();
     for fid in m.func_ids() {
         let func = m.func(fid);
         let index = func.inst_index();
-        let escape = EscapeInfo::new(func);
-        let mut has_sync = false;
-        for (_, inst) in func.insts() {
-            if is_sc_fence(&inst.kind) || inst.kind.ordering() == Some(Ordering::SeqCst) {
-                has_sync = true;
+        for (bi, b) in func.blocks.iter().enumerate() {
+            for (pos, inst) in b.insts.iter().enumerate() {
+                if !inst.kind.is_memory_access() {
+                    continue;
+                }
+                report.accesses += 1;
+                info.insert(
+                    (fid, inst.id),
+                    Access {
+                        fid,
+                        inst: inst.id,
+                        span: inst.span,
+                        loc: loc_of(func, &index, &inst.kind),
+                        write: inst.kind.may_write(),
+                        plain: inst.kind.ordering() == Some(Ordering::NotAtomic),
+                        bi,
+                        pos,
+                    },
+                );
             }
-            if !inst.kind.is_memory_access() {
-                continue;
-            }
-            report.accesses += 1;
-            let Some(addr) = inst.kind.address() else {
-                continue;
-            };
-            if !escape.is_nonlocal(addr) {
-                continue;
-            }
-            let loc = loc_of(func, &index, &inst.kind);
-            if matches!(loc, MemLoc::Stack(_) | MemLoc::Unknown) {
-                // Stack keys are thread-private; Unknown keys are too
-                // imprecise to report without drowning real findings
-                // (documented false-negative source).
-                continue;
-            }
-            by_loc.entry(loc).or_default().push(Access {
-                fid,
-                inst: inst.id,
-                span: inst.span,
-                write: inst.kind.may_write(),
-                plain: inst.kind.ordering() == Some(Ordering::NotAtomic),
-            });
         }
-        covered.insert(fid, has_sync);
+        coverage.insert(fid, Coverage::new(func));
     }
 
     let mut race_lints: Vec<Lint> = Vec::new();
-    for (loc, accesses) in &by_loc {
-        let mut roots: HashSet<FuncId> = HashSet::new();
-        for a in accesses {
-            roots.extend(reach.roots_reaching(a.fid));
+    for class in am_pt.classes() {
+        let accesses: Vec<&Access> = class.iter().filter_map(|k| info.get(k)).collect();
+        let mut union_roots: HashSet<FuncId> = HashSet::new();
+        let mut root_sets: Vec<HashSet<FuncId>> = Vec::new();
+        for a in &accesses {
+            let rs: HashSet<FuncId> = reach.roots_reaching(a.fid).collect();
+            union_roots.extend(rs.iter().copied());
+            root_sets.push(rs);
         }
-        if roots.len() < 2 {
+        if union_roots.len() < 2 {
             continue;
         }
-        if !accesses.iter().any(|a| a.plain && a.write) {
+        // A plain store must be concurrent with something: either it is
+        // itself reached from two roots, or a second root reaches another
+        // member of the class.
+        let concurrent_store = accesses.iter().zip(&root_sets).any(|(a, rs)| {
+            a.plain
+                && a.write
+                && !rs.is_empty()
+                && (rs.len() >= 2
+                    || root_sets
+                        .iter()
+                        .any(|other| other.iter().any(|r| !rs.contains(r))))
+        });
+        if !concurrent_store {
             continue;
         }
-        let pattern = d.pattern_locs.contains(loc);
-        for a in accesses {
-            if !a.plain || covered[&a.fid] {
+        let pattern = class
+            .iter()
+            .any(|&(f, i)| d.sc.get(&f).is_some_and(|is| is.contains_key(&i)));
+        let context_note = {
+            let mut names: Vec<&str> = union_roots
+                .iter()
+                .map(|&r| m.func(r).name.as_str())
+                .collect();
+            names.sort_unstable();
+            format!(
+                "reached from {} thread context(s): {}",
+                union_roots.len(),
+                names.join(", ")
+            )
+        };
+        for (a, rs) in accesses.iter().zip(&root_sets) {
+            if !a.plain || rs.is_empty() {
+                continue;
+            }
+            let cov = &coverage[&a.fid];
+            if cov.covered(a.bi, a.pos) {
                 continue;
             }
             let func = m.func(a.fid);
-            let mut notes = vec![format!(
-                "reached from {} thread context(s): {}",
-                roots.len(),
-                {
-                    let mut names: Vec<&str> =
-                        roots.iter().map(|&r| m.func(r).name.as_str()).collect();
-                    names.sort_unstable();
-                    names.join(", ")
+            let mut notes = vec![context_note.clone()];
+            let cells = pt.cells_of_access(a.fid, a.inst);
+            if !cells.is_empty() {
+                let descs: Vec<String> = cells.iter().map(|&c| pt.describe_cell(m, c)).collect();
+                notes.push(format!("may touch: {}", descs.join(", ")));
+            }
+            if cov.has_any_sync() {
+                if let Some(s) = cov.nearest_sync_span(a.span) {
+                    notes.push(format!(
+                        "the seq_cst synchronization at line {s} does not cover this access \
+                         on every path"
+                    ));
                 }
-            )];
+            }
             let mut suggestion = None;
             if pattern {
                 notes.push(
                     "this location participates in a detected synchronization pattern".into(),
                 );
                 suggestion = Some("run `atomig port` to promote it".into());
-            } else if matches!(loc, MemLoc::Pointee(_)) && !config.pointee_buddies {
+            } else if matches!(a.loc, MemLoc::Pointee(_)) && !config.pointee_buddies {
                 notes.push(
                     "alias key is a pointee-typed bucket; sticky-buddy expansion ignores it \
                      unless `pointee_buddies` is enabled"
@@ -520,7 +701,7 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
                     Some("annotate the location `atomic`, or guard it with a detected lock".into());
             }
             race_lints.push(Lint {
-                rule: LintRule::SharedPlainAccess,
+                rule: LintRule::RaceCandidate,
                 severity: if pattern {
                     Severity::Error
                 } else {
@@ -528,7 +709,7 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
                 },
                 func: func.name.clone(),
                 inst: a.inst,
-                loc: loc.clone(),
+                loc: a.loc.clone(),
                 span: a.span,
                 message: format!(
                     "plain {} of a location shared between threads{}",
@@ -619,7 +800,7 @@ mod tests {
         let m = compile(src, "race").unwrap();
         let cfg = AtomigConfig::full();
         let r = lint_module(&m, &cfg);
-        assert!(r.count(LintRule::SharedPlainAccess) >= 2, "{r}");
+        assert!(r.count(LintRule::RaceCandidate) >= 2, "{r}");
         assert!(
             r.lints.iter().all(|l| l.severity == Severity::Warning),
             "no pattern involved:\n{r}"
@@ -631,7 +812,7 @@ mod tests {
         pcfg.inline = false;
         Pipeline::new(pcfg).port_module(&mut ported);
         let r2 = lint_module(&ported, &cfg);
-        assert!(r2.count(LintRule::SharedPlainAccess) >= 2, "{r2}");
+        assert!(r2.count(LintRule::RaceCandidate) >= 2, "{r2}");
     }
 
     #[test]
@@ -656,6 +837,48 @@ mod tests {
         }
         let text = r.to_string();
         assert!(text.contains("mp.c:"), "{text}");
+    }
+
+    #[test]
+    fn race_candidates_are_points_to_precise_on_aliased_handles() {
+        // `shared` and `scratch` have identical types and are touched
+        // through the same helper signatures, but only `shared` is
+        // reached from two thread roots. The race rule keys on points-to
+        // classes, so the single-threaded staging accesses in @prepare
+        // stay silent even though their type-based alias keys collide.
+        let src = include_str!("../../../examples/seqlock_alias.c");
+        let m = compile(src, "seqlock_alias").unwrap();
+        let cfg = AtomigConfig::full();
+        let r = lint_module(&m, &cfg);
+        assert!(r.count(LintRule::RaceCandidate) >= 2, "{r}");
+        assert!(
+            r.lints
+                .iter()
+                .filter(|l| l.rule == LintRule::RaceCandidate)
+                .all(|l| l.func != "prepare" && l.func != "main"),
+            "single-threaded staging must not be a race candidate:\n{r}"
+        );
+        // Findings cite the points-to cells they may touch.
+        assert!(
+            r.lints
+                .iter()
+                .filter(|l| l.rule == LintRule::RaceCandidate)
+                .all(|l| l.notes.iter().any(|n| n.contains("shared"))),
+            "{r}"
+        );
+        // Ported modules audit clean under both alias backends.
+        for mode in [crate::AliasMode::TypeBased, crate::AliasMode::PointsTo] {
+            let mut ported = m.clone();
+            let mut pcfg = cfg.clone();
+            pcfg.alias_mode = mode;
+            Pipeline::new(pcfg.clone()).port_module(&mut ported);
+            let r2 = lint_module(&ported, &pcfg);
+            assert!(
+                r2.count(LintRule::RaceCandidate) == 0,
+                "ported ({}) must have no race candidates:\n{r2}",
+                mode.name()
+            );
+        }
     }
 
     #[test]

@@ -3,13 +3,13 @@
 
 use crate::alias::AliasMap;
 use crate::annotations::{loc_of, scan_annotations};
-use crate::config::{AtomigConfig, Stage};
+use crate::config::{AliasMode, AtomigConfig, Stage};
 use crate::optimistic::detect_optimistic;
 use crate::report::{BarrierCensus, PortReport};
 use crate::spinloop::detect_spinloops;
 use crate::transform::{self, MarkSet};
-use atomig_analysis::{inline_module, InfluenceAnalysis};
-use atomig_mir::{InstKind, MemLoc, Module};
+use atomig_analysis::{inline_module, InfluenceAnalysis, PointsTo};
+use atomig_mir::{FuncId, InstId, InstKind, MemLoc, Module};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -81,6 +81,7 @@ impl Pipeline {
         let mut marks = MarkSet::default();
         let mut seed_locs: HashSet<MemLoc> = HashSet::new();
         let mut optimistic_locs: HashSet<MemLoc> = HashSet::new();
+        let mut optimistic_accesses: Vec<(FuncId, InstId)> = Vec::new();
         // Whether a location key may seed sticky-buddy expansion. The
         // paper's scheme uses precise keys only; the coarse pointee-typed
         // buckets are the §3.4 alternative it rejects, kept here as an
@@ -146,6 +147,7 @@ impl Pipeline {
                     if matches!(index.get(&c), Some(InstKind::Load { .. })) {
                         marks.mark_fence_before(fid, c);
                     }
+                    optimistic_accesses.push((fid, c));
                 }
                 for l in &o.control_locs {
                     optimistic_locs.insert(l.clone());
@@ -156,34 +158,84 @@ impl Pipeline {
             }
         }
 
-        // Pass 3: alias exploration — once atomic, always atomic (§3.4).
-        if self.config.alias_exploration {
-            let am = AliasMap::build(m, self.config.pointee_buddies);
-            report.seed_locations = seed_locs.len();
-            for loc in &seed_locs {
-                for &(f, i) in am.buddies(loc) {
-                    let newly = marks.sc_marks.entry(f).or_default().insert(i);
-                    if newly {
-                        report.buddy_marks += 1;
+        // Pass 3: alias exploration — once atomic, always atomic (§3.4) —
+        // followed by explicit barriers after every store that may hit an
+        // optimistic location, module-wide (Figure 6, writer side).
+        match self.config.alias_mode {
+            AliasMode::TypeBased => {
+                if self.config.alias_exploration {
+                    let am = AliasMap::build(m, self.config.pointee_buddies);
+                    report.seed_locations = seed_locs.len();
+                    for loc in &seed_locs {
+                        for &(f, i) in am.buddies(loc) {
+                            let newly = marks.sc_marks.entry(f).or_default().insert(i);
+                            if newly {
+                                report.buddy_marks += 1;
+                            }
+                        }
+                    }
+                }
+                if !optimistic_locs.is_empty() {
+                    for fid in m.func_ids() {
+                        let func = m.func(fid);
+                        let index = func.inst_index();
+                        for (_, inst) in func.insts() {
+                            if !inst.kind.may_write() || !inst.kind.is_memory_access() {
+                                continue;
+                            }
+                            let loc = loc_of(func, &index, &inst.kind);
+                            if optimistic_locs.contains(&loc) {
+                                marks.mark_fence_after(fid, inst.id);
+                                marks.mark_sc(fid, inst.id);
+                            }
+                        }
                     }
                 }
             }
-        }
-
-        // Explicit barriers after every store to an optimistic location,
-        // module-wide (Figure 6, writer side; includes sticky buddies).
-        if !optimistic_locs.is_empty() {
-            for fid in m.func_ids() {
-                let func = m.func(fid);
-                let index = func.inst_index();
-                for (_, inst) in func.insts() {
-                    if !inst.kind.may_write() || !inst.kind.is_memory_access() {
-                        continue;
+            AliasMode::PointsTo => {
+                if self.config.alias_exploration || !optimistic_accesses.is_empty() {
+                    let pt = PointsTo::analyze(m);
+                    let am = AliasMap::build_points_to(m, &pt);
+                    if self.config.alias_exploration {
+                        // Seeds are the accesses themselves: everything
+                        // already marked SC plus the optimistic controls
+                        // (which so far only carry fences).
+                        let mut seeds: Vec<(FuncId, InstId)> = marks
+                            .sc_marks
+                            .iter()
+                            .flat_map(|(&f, is)| is.iter().map(move |&i| (f, i)))
+                            .collect();
+                        seeds.extend(optimistic_accesses.iter().copied());
+                        report.seed_locations = seeds.len();
+                        for (f, i) in seeds {
+                            for &(bf, bi) in am.buddies_of_access(f, i) {
+                                let newly = marks.sc_marks.entry(bf).or_default().insert(bi);
+                                if newly {
+                                    report.buddy_marks += 1;
+                                }
+                            }
+                        }
                     }
-                    let loc = loc_of(func, &index, &inst.kind);
-                    if optimistic_locs.contains(&loc) {
-                        marks.mark_fence_after(fid, inst.id);
-                        marks.mark_sc(fid, inst.id);
+                    if !optimistic_accesses.is_empty() {
+                        let writers: HashSet<(FuncId, InstId)> = m
+                            .func_ids()
+                            .flat_map(|fid| {
+                                m.func(fid)
+                                    .insts()
+                                    .filter(|(_, i)| {
+                                        i.kind.is_memory_access() && i.kind.may_write()
+                                    })
+                                    .map(move |(_, i)| (fid, i.id))
+                            })
+                            .collect();
+                        for &(f, i) in &optimistic_accesses {
+                            for &(bf, bi) in am.buddies_of_access(f, i) {
+                                if writers.contains(&(bf, bi)) {
+                                    marks.mark_fence_after(bf, bi);
+                                    marks.mark_sc(bf, bi);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -347,6 +399,92 @@ mod tests {
             }
         }
         assert_eq!(saw_store_fence, 2);
+    }
+
+    /// On modules whose sharing flows through direct globals, the two
+    /// alias backends agree: the MP reader/writer transformation is
+    /// identical in points-to mode.
+    #[test]
+    fn points_to_mode_matches_type_based_on_direct_globals() {
+        let src = r#"
+            global @flag: i32 = 0
+            global @msg: i32 = 0
+            fn @reader() : i32 {
+            loop:
+              %f = load i32, @flag
+              %c = cmp ne %f, 1
+              condbr %c, loop, done
+            done:
+              %v = load i32, @msg
+              ret %v
+            }
+            fn @writer() : void {
+            bb0:
+              store i32 7, @msg
+              store i32 1, @flag
+              ret
+            }
+            "#;
+        let mut tb = parse_module(src).unwrap();
+        let r_tb = Pipeline::new(AtomigConfig::full()).port_module(&mut tb);
+        let mut cfg = AtomigConfig::full();
+        cfg.alias_mode = crate::config::AliasMode::PointsTo;
+        let mut pt = parse_module(src).unwrap();
+        let r_pt = Pipeline::new(cfg).port_module(&mut pt);
+        assert_eq!(r_pt.implicit_barriers_added, r_tb.implicit_barriers_added);
+        assert_eq!(r_pt.explicit_barriers_added, r_tb.explicit_barriers_added);
+        assert_eq!(tb, pt, "identical transformed modules");
+    }
+
+    /// The precision win: two struct globals handled through pointer
+    /// parameters share one type-based `Field` key, so an atomic access
+    /// through one handle drags the other handle's accesses to SC.
+    /// Points-to keeps the allocation sites apart.
+    #[test]
+    fn points_to_mode_does_not_over_promote_aliased_handles() {
+        let src = r#"
+            struct %S { i64, i64 }
+            global @a: %S = 0
+            global @b: %S = 0
+            fn @ta(%h: ptr %S) : void {
+            bb0:
+              %f = gep %S, %h, 0, 0
+              %old = cmpxchg i64 %f, 0, 1 seq_cst
+              ret
+            }
+            fn @tb(%h: ptr %S) : void {
+            bb0:
+              %f = gep %S, %h, 0, 0
+              store i64 2, %f
+              ret
+            }
+            fn @main() : void {
+            bb0:
+              call void @ta(@a)
+              call void @tb(@b)
+              ret
+            }
+            "#;
+        let mut cfg = AtomigConfig::full();
+        cfg.inline = false;
+        let mut tb = parse_module(src).unwrap();
+        let r_tb = Pipeline::new(cfg.clone()).port_module(&mut tb);
+        cfg.alias_mode = crate::config::AliasMode::PointsTo;
+        let mut pt = parse_module(src).unwrap();
+        let r_pt = Pipeline::new(cfg).port_module(&mut pt);
+        assert_eq!(r_tb.implicit_barriers_added, 1, "{r_tb}");
+        assert_eq!(
+            r_pt.implicit_barriers_added, 0,
+            "points-to keeps @b's store plain: {r_pt}"
+        );
+        let tb_store = tb.func(tb.func_by_name("tb").unwrap()).blocks[0].insts[1]
+            .kind
+            .ordering();
+        assert_eq!(tb_store, Some(Ordering::SeqCst));
+        let pt_store = pt.func(pt.func_by_name("tb").unwrap()).blocks[0].insts[1]
+            .kind
+            .ordering();
+        assert_eq!(pt_store, Some(Ordering::NotAtomic));
     }
 
     #[test]

@@ -1,0 +1,59 @@
+/* A seqlock accessed through handles: the aliasing stress test for
+ * sticky-buddy expansion (3.4).
+ *
+ * `shared` is a real seqlock touched by two threads; `scratch` is a
+ * same-typed staging copy that only `main` ever touches, through the
+ * same helper signature. Under the paper's type-based alias keys the
+ * accesses to both are keyed by identical struct-field offsets, so
+ * promoting the shared epoch drags the scratch epoch along with it
+ * (over-promotion). The points-to backend (--alias points-to) keeps
+ * the two objects apart and leaves `prepare` plain. Both modes must
+ * agree on the checker verdict: the original tears lo/hi on Arm, the
+ * ported module does not. */
+struct seq {
+  int epoch;
+  int lo;
+  int hi;
+};
+
+struct seq shared;
+struct seq scratch;
+
+/* Single-threaded staging: touches only `scratch`. */
+void prepare(struct seq *h, int v) {
+  h->epoch = h->epoch + 2;
+  h->lo = v;
+  h->hi = v;
+}
+
+void writer_step(struct seq *h, int v) {
+  h->epoch = h->epoch + 1;
+  h->lo = v;
+  h->hi = v;
+  h->epoch = h->epoch + 1;
+}
+
+int read_snapshot(struct seq *h) {
+  int s;
+  int a;
+  int b;
+  do {
+    s = h->epoch;
+    a = h->lo;
+    b = h->hi;
+  } while (s % 2 != 0 || s != h->epoch);
+  return a - b;
+}
+
+void writer(long v) {
+  writer_step(&shared, v);
+}
+
+int main() {
+  prepare(&scratch, 1);
+  long t = spawn(writer, 7);
+  int d = read_snapshot(&shared);
+  join(t);
+  assert(d == 0);
+  return 0;
+}
