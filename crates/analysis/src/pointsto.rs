@@ -158,6 +158,9 @@ pub struct PointsToStats {
     pub constraints: usize,
     /// Worklist pops until fixpoint.
     pub iterations: usize,
+    /// Fixpoint passes: the maximum number of times any single node was
+    /// re-popped from the worklist (1 means one sweep sufficed).
+    pub passes: usize,
     /// Wall-clock time of constraint generation + solving.
     pub solve_time: Duration,
 }
@@ -196,6 +199,8 @@ struct Solver {
     gep_out: Vec<Vec<(u32, Vec<i64>)>>,
     worklist: Vec<u32>,
     queued: Vec<bool>,
+    /// Pops of each node, for the fixpoint-pass statistic.
+    pops: Vec<u32>,
     stats: PointsToStats,
 }
 
@@ -215,6 +220,7 @@ impl Solver {
             gep_out: Vec::new(),
             worklist: Vec::new(),
             queued: Vec::new(),
+            pops: Vec::new(),
             stats: PointsToStats::default(),
         }
     }
@@ -251,6 +257,7 @@ impl Solver {
         self.store_in.push(Vec::new());
         self.gep_out.push(Vec::new());
         self.queued.push(false);
+        self.pops.push(0);
         if let NodeKey::Lit(c) = key {
             self.pts[n as usize].insert(c.0);
             self.enqueue(n);
@@ -461,6 +468,7 @@ impl Solver {
         while let Some(n) = self.worklist.pop() {
             self.queued[n as usize] = false;
             self.stats.iterations += 1;
+            self.pops[n as usize] += 1;
             let delta = self.pts[n as usize].difference(&self.done[n as usize]);
             if delta.is_empty() {
                 continue;
@@ -500,6 +508,7 @@ impl Solver {
                 }
             }
         }
+        self.stats.passes = self.pops.iter().copied().max().unwrap_or(0) as usize;
     }
 }
 
@@ -659,8 +668,8 @@ impl fmt::Display for PointsToStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} nodes, {} cells, {} constraints, {} iterations, {:.1?}",
-            self.nodes, self.cells, self.constraints, self.iterations, self.solve_time
+            "{} nodes, {} cells, {} constraints, {} iterations, {} passes, {:.1?}",
+            self.nodes, self.cells, self.constraints, self.iterations, self.passes, self.solve_time
         )
     }
 }

@@ -29,7 +29,8 @@
 //! example (the CI gate).
 
 use atomig_analysis::PointsTo;
-use atomig_bench::{factor, render_table};
+use atomig_bench::{factor, render_table, BenchRecorder};
+use atomig_core::json::Value;
 use atomig_core::{AliasMode, AtomigConfig, Pipeline};
 use atomig_wmm::{Checker, CostModel, ModelKind};
 use atomig_workloads::{ck, compile_baseline, lf_hash, profiles, synth};
@@ -366,6 +367,16 @@ fn main() {
     println!();
 
     // ---- Wall time: what the points-to fixpoint costs at Table-3 scale.
+    let mut rec = BenchRecorder::new("ablation");
+    rec.put("profile", Value::from(profile.as_str()));
+    rec.put(
+        "seqlock_implicit",
+        Value::obj(vec![
+            ("type_based", seqlock_impl[0].into()),
+            ("points_to", seqlock_impl[1].into()),
+        ]),
+    );
+    rec.put("verdicts_equivalent", Value::from(equivalent));
     let mut rows = Vec::new();
     for p in &wall_profiles {
         let app = synth::generate_for(p, 100);
@@ -382,6 +393,14 @@ fn main() {
             let t = Instant::now();
             let report = Pipeline::new(cfg).port_module(&mut m);
             let port_time = t.elapsed();
+            rec.put(
+                &format!("{}_{}_port_nanos", p.name, mode.name()),
+                Value::from(port_time.as_nanos()),
+            );
+            rec.phases(
+                &format!("{}_{}_phases", p.name, mode.name()),
+                &report.metrics,
+            );
             rows.push(vec![
                 p.name.to_string(),
                 app.sloc.to_string(),
@@ -392,8 +411,13 @@ fn main() {
             ]);
         }
         println!(
-            "{}: points-to solved {} cells / {} constraints in {} iterations ({:.1?})",
-            p.name, pt.stats.cells, pt.stats.constraints, pt.stats.iterations, pt_time
+            "{}: points-to solved {} cells / {} constraints in {} iterations / {} passes ({:.1?})",
+            p.name,
+            pt.stats.cells,
+            pt.stats.constraints,
+            pt.stats.iterations,
+            pt.stats.passes,
+            pt_time
         );
     }
     print!(
@@ -411,6 +435,9 @@ fn main() {
             &rows,
         )
     );
+
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 
     if assert_equivalent {
         assert!(

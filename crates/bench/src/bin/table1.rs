@@ -1,9 +1,11 @@
 //! Regenerates Table 1: comparison of porting approaches.
 
-use atomig_bench::render_table;
+use atomig_bench::{render_table, BenchRecorder};
 use atomig_core::approach_matrix;
+use atomig_core::json::Value;
 
 fn main() {
+    let mut rec = BenchRecorder::new("table1");
     let rows: Vec<Vec<String>> = approach_matrix()
         .into_iter()
         .map(|(name, cells)| {
@@ -20,4 +22,7 @@ fn main() {
             &rows,
         )
     );
+    rec.put("approaches", Value::from(rows.len()));
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 }

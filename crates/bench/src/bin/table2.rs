@@ -5,7 +5,8 @@
 //! under the Arm-flavoured weak memory model. `Y` = no violation found
 //! (exploration complete), `x` = a weak-memory assertion violation.
 
-use atomig_bench::render_table;
+use atomig_bench::{render_table, BenchRecorder};
+use atomig_core::json::Value;
 use atomig_workloads::{check_arm, compile_stage, glyph, STAGES};
 
 fn main() {
@@ -37,7 +38,9 @@ fn main() {
         ),
     ];
 
+    let mut rec = BenchRecorder::new("table2");
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for (name, src, paper) in &benchmarks {
         let mut row = vec![name.to_string()];
         for stage in STAGES {
@@ -45,6 +48,15 @@ fn main() {
             let verdict = check_arm(&module);
             assert!(!verdict.truncated, "{name} at {stage:?}: {verdict}");
             row.push(glyph(verdict.violation.is_none()).to_string());
+            records.push(Value::obj(vec![
+                ("benchmark", (*name).into()),
+                ("stage", format!("{stage:?}").as_str().into()),
+                ("passed", verdict.violation.is_none().into()),
+                ("states", verdict.states.into()),
+                ("executions", verdict.executions.into()),
+                ("revisits", verdict.revisits.into()),
+                ("peak_tracked", verdict.peak_tracked.into()),
+            ]));
         }
         row.push(format!(
             "{} {} {} {}",
@@ -61,4 +73,7 @@ fn main() {
             &rows,
         )
     );
+    rec.put("checks", Value::Arr(records));
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 }

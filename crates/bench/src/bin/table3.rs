@@ -7,7 +7,8 @@
 //! pattern counts are reported at generation scale; multiply by 100 to
 //! compare against the paper column (also shown).
 
-use atomig_bench::render_table;
+use atomig_bench::{render_table, BenchRecorder};
+use atomig_core::json::Value;
 use atomig_core::{naive_port, AtomigConfig, Pipeline};
 use atomig_workloads::{profiles, synth};
 use std::time::Instant;
@@ -15,6 +16,7 @@ use std::time::Instant;
 const SCALE: u32 = 100;
 
 fn main() {
+    let mut rec = BenchRecorder::new("table3");
     let mut rows = Vec::new();
     for profile in profiles::all() {
         let app = synth::generate_for(&profile, SCALE);
@@ -40,6 +42,18 @@ fn main() {
         let mut naive = module.clone();
         naive_port(&mut naive);
         let naive_census = atomig_core::BarrierCensus::of(&naive);
+
+        rec.put(
+            &format!("{}_build_nanos", profile.name),
+            Value::from(build_time.as_nanos()),
+        );
+        rec.put(
+            &format!("{}_atomig_nanos", profile.name),
+            Value::from(atomig_time.as_nanos()),
+        );
+        rec.phases(&format!("{}_phases", profile.name), &report.metrics);
+        rec.census(&format!("{}_census_before", profile.name), &report.before);
+        rec.census(&format!("{}_census_after", profile.name), &report.after);
 
         rows.push(vec![
             profile.name.to_string(),
@@ -81,4 +95,6 @@ fn main() {
     println!(
         "(BE = explicit barriers, BI = implicit barriers; counts at 1:{SCALE} scale — multiply by {SCALE} to compare with the paper)"
     );
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 }

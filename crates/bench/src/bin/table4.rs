@@ -5,13 +5,15 @@
 //! traffic is included in the non-atomic rows, as a hardware counter
 //! would.
 
-use atomig_bench::render_table;
+use atomig_bench::{render_table, BenchRecorder};
+use atomig_core::json::Value;
 use atomig_workloads::{apps, compile_atomig, compile_baseline};
 
 fn main() {
+    let mut rec = BenchRecorder::new("table4");
     let src = apps::memcached_like(400);
     let original = compile_baseline(&src, "memcached");
-    let (ported, _) = compile_atomig(&src, "memcached");
+    let (ported, port_report) = compile_atomig(&src, "memcached");
 
     let ro = atomig_wmm::run_default(&original);
     let rp = atomig_wmm::run_default(&ported);
@@ -53,4 +55,22 @@ fn main() {
         "(paper shape: ported run turns a single-digit % of accesses atomic; \
          paper: 19.9M/377M loads, 5.5M/127M stores)"
     );
+    rec.phases("port_phases", &port_report.metrics);
+    rec.census("census_before", &port_report.before);
+    rec.census("census_after", &port_report.after);
+    for (label, r) in [("original", &ro), ("atomig", &rp)] {
+        rec.put(
+            &format!("{label}_dynamic"),
+            Value::obj(vec![
+                ("plain_loads", r.stats.plain_loads.into()),
+                ("plain_stores", r.stats.plain_stores.into()),
+                ("atomic_loads", r.stats.atomic_loads.into()),
+                ("atomic_stores", r.stats.atomic_stores.into()),
+                ("rmws", r.stats.rmws.into()),
+                ("fences", r.stats.fences.into()),
+            ]),
+        );
+    }
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 }

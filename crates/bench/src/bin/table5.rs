@@ -8,7 +8,8 @@
 //! no WMM-correct version, so its baseline is the (incorrect) plain
 //! recompile.
 
-use atomig_bench::{factor, render_table};
+use atomig_bench::{factor, render_table, BenchRecorder};
+use atomig_core::json::Value;
 use atomig_wmm::CostModel;
 use atomig_workloads::{
     apps, ck, clht, compile_atomig, compile_baseline, compile_naive, lf_hash, run_cost,
@@ -130,4 +131,18 @@ fn main() {
         "(ck baselines are expert Arm ports with explicit fences; \
          CLHT baselines have no WMM corrections, as in the paper)"
     );
+    let mut rec = BenchRecorder::new("table5");
+    let records: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::obj(vec![
+                ("benchmark", r[0].as_str().into()),
+                ("naive", r[1].parse::<f64>().unwrap_or(0.0).into()),
+                ("atomig", r[2].parse::<f64>().unwrap_or(0.0).into()),
+            ])
+        })
+        .collect();
+    rec.put("slowdowns", Value::Arr(records));
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 }

@@ -1,7 +1,8 @@
 //! Regenerates Table 6: Phoenix benchmark, Naïve vs Lasagne vs AtoMig,
 //! normalized to each kernel's plain build, plus the geometric mean.
 
-use atomig_bench::{factor, render_table};
+use atomig_bench::{factor, render_table, BenchRecorder};
+use atomig_core::json::Value;
 use atomig_workloads::{
     compile_atomig, compile_baseline, compile_lasagne, compile_naive, phoenix, run_cost,
 };
@@ -56,4 +57,19 @@ fn main() {
             &rows,
         )
     );
+    let mut rec = BenchRecorder::new("table6");
+    let records: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::obj(vec![
+                ("benchmark", r[0].as_str().into()),
+                ("naive", r[1].parse::<f64>().unwrap_or(0.0).into()),
+                ("lasagne", r[2].parse::<f64>().unwrap_or(0.0).into()),
+                ("atomig", r[3].parse::<f64>().unwrap_or(0.0).into()),
+            ])
+        })
+        .collect();
+    rec.put("slowdowns", Value::Arr(records));
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
 }

@@ -9,16 +9,24 @@
 //! $ atomig check prog.c --model arm # exhaustively model-check @main
 //! $ atomig run prog.c               # run deterministically, print cost
 //! $ atomig lint prog.c              # static WMM-robustness audit
+//! $ atomig explain prog.c:41        # why was line 41 rewritten?
+//! $ atomig metrics run.jsonl        # validate an --emit-metrics stream
 //! ```
 
-use atomig_core::{lint_module, AliasMode, AtomigConfig, LintRule, Pipeline, Stage};
+use atomig_core::trace::{
+    self, checker_event, decision_event, finding_event, meta_event, phase_event, solver_event,
+    summary_event, to_jsonl,
+};
+use atomig_core::{
+    lint_module, AliasMode, AtomigConfig, CheckerMetrics, LintRule, PhaseStat, Pipeline, Stage,
+};
 use atomig_wmm::{Checker, CostModel, ModelKind};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// `atomig port <file> [--stage s] [--alias a] [--report]
-    /// [--naive|--lasagne]`
+    /// [--naive|--lasagne] [--trace] [--emit-metrics out]`
     Port {
         /// Input path.
         file: String,
@@ -32,8 +40,12 @@ pub enum Command {
         naive: bool,
         /// Apply the Lasagne-style baseline instead of AtoMig.
         lasagne: bool,
+        /// Append the human-readable decision trace tree.
+        trace: bool,
+        /// Write the JSONL metrics stream to this path.
+        emit_metrics: Option<String>,
     },
-    /// `atomig check <file> [--model m] [--ported]`
+    /// `atomig check <file> [--model m] [--ported] [--emit-metrics out]`
     Check {
         /// Input path.
         file: String,
@@ -41,6 +53,8 @@ pub enum Command {
         model: ModelKind,
         /// Port with full AtoMig before checking.
         ported: bool,
+        /// Write the JSONL metrics stream to this path.
+        emit_metrics: Option<String>,
     },
     /// `atomig run <file> [--ported]`
     Run {
@@ -49,7 +63,8 @@ pub enum Command {
         /// Port with full AtoMig before running.
         ported: bool,
     },
-    /// `atomig lint <file> [--ported] [--alias a] [--deny rule]*`
+    /// `atomig lint <file> [--ported] [--alias a] [--deny rule]*
+    /// [--emit-metrics out]`
     Lint {
         /// Input path.
         file: String,
@@ -59,6 +74,22 @@ pub enum Command {
         alias: AliasMode,
         /// Rules whose findings make the exit status non-zero.
         deny: Vec<LintRule>,
+        /// Write the JSONL metrics stream to this path.
+        emit_metrics: Option<String>,
+    },
+    /// `atomig explain <file[:line]> [--alias a]`
+    Explain {
+        /// Input path.
+        file: String,
+        /// Source line to explain; `None` prints the whole decision tree.
+        line: Option<u32>,
+        /// Alias backend for sticky-buddy expansion.
+        alias: AliasMode,
+    },
+    /// `atomig metrics <file.jsonl>`
+    Metrics {
+        /// Path of a stream produced by `--emit-metrics`.
+        file: String,
     },
     /// `atomig help`
     Help,
@@ -71,11 +102,16 @@ atomig — port legacy x86 (TSO) programs to weak memory models
 USAGE:
     atomig port  <file.c> [--stage original|expl|spin|full] [--report]
                           [--alias type-based|points-to]
-                          [--naive | --lasagne]
+                          [--naive | --lasagne] [--trace]
+                          [--emit-metrics <out.jsonl>]
     atomig check <file.c> [--model sc|tso|wmm|arm] [--ported]
+                          [--emit-metrics <out.jsonl>]
     atomig run   <file.c> [--ported]
     atomig lint  <file.c> [--ported] [--alias type-based|points-to]
                           [--deny race-candidate|fence-placement]
+                          [--emit-metrics <out.jsonl>]
+    atomig explain <file.c[:LINE]> [--alias type-based|points-to]
+    atomig metrics <run.jsonl>
 
 `port` prints the transformed IR (or, with --report, the Table-3 style
 porting statistics). `check` exhaustively model-checks @main and reports
@@ -84,7 +120,15 @@ prints the Armv8 cost-model summary. `lint` statically audits the module
 for WMM-portability hazards and prints sourced diagnostics; findings for
 a --deny'd rule make the exit status non-zero (for CI). `--alias` picks
 the buddy-expansion backend: the paper's type-based keys (default) or the
-Andersen-style points-to analysis.";
+Andersen-style points-to analysis.
+
+Observability: `--trace` appends the decision-provenance tree to `port`
+output; `--emit-metrics` writes a JSONL stream of phase timings, solver
+and checker counters, decisions, and findings (see DESIGN.md for the
+schema). `explain` replays the decision ledger for one source line —
+every rewrite is traced back through sticky-buddy alias classes to the
+annotation or loop pattern that seeded it, with pre-port race-candidate
+context. `metrics` validates a JSONL stream and prints its tally.";
 
 /// Parses a command line (without the program name).
 ///
@@ -106,11 +150,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut report_only = false;
             let mut naive = false;
             let mut lasagne = false;
+            let mut trace = false;
+            let mut emit_metrics = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--report" => report_only = true,
                     "--naive" => naive = true,
                     "--lasagne" => lasagne = true,
+                    "--trace" => trace = true,
                     "--stage" => {
                         let v = it.next().ok_or("--stage needs a value")?;
                         stage = parse_stage(v)?;
@@ -118,6 +165,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--alias" => {
                         let v = it.next().ok_or("--alias needs a value")?;
                         alias = parse_alias(v)?;
+                    }
+                    "--emit-metrics" => {
+                        let v = it.next().ok_or("--emit-metrics needs a path")?;
+                        emit_metrics = Some(v.to_string());
                     }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
@@ -133,18 +184,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 report_only,
                 naive,
                 lasagne,
+                trace,
+                emit_metrics,
             })
         }
         "check" => {
             let mut file = None;
             let mut model = ModelKind::Arm;
             let mut ported = false;
+            let mut emit_metrics = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--ported" => ported = true,
                     "--model" => {
                         let v = it.next().ok_or("--model needs a value")?;
                         model = parse_model(v)?;
+                    }
+                    "--emit-metrics" => {
+                        let v = it.next().ok_or("--emit-metrics needs a path")?;
+                        emit_metrics = Some(v.to_string());
                     }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
@@ -154,6 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 file: file.ok_or("check: missing input file")?,
                 model,
                 ported,
+                emit_metrics,
             })
         }
         "run" => {
@@ -176,6 +235,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut ported = false;
             let mut alias = AliasMode::TypeBased;
             let mut deny = Vec::new();
+            let mut emit_metrics = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--ported" => ported = true,
@@ -195,6 +255,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             deny.push(rule);
                         }
                     }
+                    "--emit-metrics" => {
+                        let v = it.next().ok_or("--emit-metrics needs a path")?;
+                        emit_metrics = Some(v.to_string());
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -204,6 +268,44 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 ported,
                 alias,
                 deny,
+                emit_metrics,
+            })
+        }
+        "explain" => {
+            let mut target = None;
+            let mut alias = AliasMode::TypeBased;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--alias" => {
+                        let v = it.next().ok_or("--alias needs a value")?;
+                        alias = parse_alias(v)?;
+                    }
+                    f if !f.starts_with('-') && target.is_none() => target = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            let target = target.ok_or("explain: missing input location (file.c[:LINE])")?;
+            let (file, line) = match target.rsplit_once(':') {
+                Some((f, l)) if !f.is_empty() => {
+                    let n = l
+                        .parse::<u32>()
+                        .map_err(|_| format!("explain: `{l}` is not a line number"))?;
+                    (f.to_string(), Some(n))
+                }
+                _ => (target, None),
+            };
+            Ok(Command::Explain { file, line, alias })
+        }
+        "metrics" => {
+            let mut file = None;
+            for a in it {
+                match a.as_str() {
+                    f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            Ok(Command::Metrics {
+                file: file.ok_or("metrics: missing input file")?,
             })
         }
         other => Err(format!("unknown command `{other}` (try `atomig help`)")),
@@ -256,6 +358,15 @@ fn config_for(stage: Stage) -> AtomigConfig {
     }
 }
 
+fn write_metrics(path: &str, events: &[atomig_core::json::Value]) -> Result<String, String> {
+    std::fs::write(path, to_jsonl(events))
+        .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+    Ok(format!(
+        "metrics: wrote {} event(s) to {path}",
+        events.len()
+    ))
+}
+
 /// Executes a command against already-loaded source text, returning the
 /// text to print (separated from I/O for testability).
 ///
@@ -271,9 +382,18 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             report_only,
             naive,
             lasagne,
+            trace,
+            emit_metrics,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
+            if (*naive || *lasagne) && (*trace || emit_metrics.is_some()) {
+                return Err(
+                    "--trace/--emit-metrics need the AtoMig pipeline (drop --naive/--lasagne)"
+                        .into(),
+                );
+            }
+            let mut pipeline_report = None;
             let summary = if *naive {
                 let stats = atomig_core::naive_port(&mut module);
                 format!(
@@ -290,36 +410,114 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 let mut cfg = config_for(*stage);
                 cfg.alias_mode = *alias;
                 let report = Pipeline::new(cfg).port_module(&mut module);
-                format!("{report}")
+                let s = format!("{report}");
+                pipeline_report = Some(report);
+                s
             };
             atomig_mir::verify_module(&module).map_err(|e| e.to_string())?;
-            if *report_only {
-                Ok(summary)
+            let mut out = if *report_only {
+                summary
             } else {
-                Ok(atomig_mir::printer::print_module(&module))
+                atomig_mir::printer::print_module(&module)
+            };
+            if let Some(report) = &pipeline_report {
+                if *trace {
+                    out.push_str("\n\n");
+                    out.push_str(&report.ledger.render_tree(name));
+                }
+                if let Some(path) = emit_metrics {
+                    let mut events = vec![meta_event("port", name, Some(alias.name()))];
+                    if let Some(s) = &report.metrics.solver {
+                        events.push(solver_event(s));
+                    }
+                    for p in &report.metrics.phases {
+                        events.push(phase_event(p));
+                    }
+                    for d in report.ledger.decisions() {
+                        events.push(decision_event(d));
+                    }
+                    events.push(summary_event(
+                        report.metrics.total(),
+                        vec![
+                            ("decisions", report.ledger.len().into()),
+                            ("sc_upgraded", report.implicit_barriers_added.into()),
+                            ("fences_inserted", report.explicit_barriers_added.into()),
+                        ],
+                    ));
+                    out.push('\n');
+                    out.push_str(&write_metrics(path, &events)?);
+                }
             }
+            Ok(out)
         }
-        Command::Check { model, ported, .. } => {
+        Command::Check {
+            model,
+            ported,
+            emit_metrics,
+            ..
+        } => {
             let mut module = atomig_frontc::compile(source, name)?;
+            let mut port_report = None;
             if *ported {
-                Pipeline::new(AtomigConfig::full()).port_module(&mut module);
+                port_report = Some(Pipeline::new(AtomigConfig::full()).port_module(&mut module));
             }
             if module.func_by_name("main").is_none() {
                 return Err("check: the program has no `main`".into());
             }
+            let t0 = std::time::Instant::now();
             let verdict = Checker::new(*model).check(&module, "main");
+            let explore = t0.elapsed();
+            let mut note = String::new();
+            if let Some(path) = emit_metrics {
+                let cm = CheckerMetrics {
+                    model: model.to_string(),
+                    states: verdict.states,
+                    executions: verdict.executions,
+                    revisits: verdict.revisits,
+                    peak_tracked: verdict.peak_tracked,
+                    truncated: verdict.truncated,
+                };
+                let mut events = vec![meta_event("check", name, None)];
+                let mut total = explore;
+                if let Some(r) = &port_report {
+                    total += r.metrics.total();
+                    if let Some(s) = &r.metrics.solver {
+                        events.push(solver_event(s));
+                    }
+                    for p in &r.metrics.phases {
+                        events.push(phase_event(p));
+                    }
+                }
+                events.push(phase_event(&PhaseStat {
+                    name: "check-explore".into(),
+                    duration: explore,
+                    items: verdict.states,
+                }));
+                events.push(checker_event(&cm));
+                events.push(summary_event(
+                    total,
+                    vec![
+                        ("states", verdict.states.into()),
+                        ("executions", verdict.executions.into()),
+                        ("revisits", verdict.revisits.into()),
+                        ("peak_tracked", verdict.peak_tracked.into()),
+                    ],
+                ));
+                note = format!("\n{}", write_metrics(path, &events)?);
+            }
             // A found violation is a non-zero exit, so `atomig check`
             // can gate CI.
             if verdict.violation.is_some() {
-                Err(format!("{model}: {verdict}"))
+                Err(format!("{model}: {verdict}{note}"))
             } else {
-                Ok(format!("{model}: {verdict}"))
+                Ok(format!("{model}: {verdict}{note}"))
             }
         }
         Command::Lint {
             ported,
             alias,
             deny,
+            emit_metrics,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
@@ -329,7 +527,29 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 Pipeline::new(cfg.clone()).port_module(&mut module);
             }
             let report = lint_module(&module, &cfg);
-            let out = report.to_string();
+            let mut out = report.to_string();
+            if let Some(path) = emit_metrics {
+                let mut events = vec![meta_event("lint", name, Some(alias.name()))];
+                if let Some(s) = &report.metrics.solver {
+                    events.push(solver_event(s));
+                }
+                for p in &report.metrics.phases {
+                    events.push(phase_event(p));
+                }
+                for l in &report.lints {
+                    events.push(finding_event(l));
+                }
+                events.push(summary_event(
+                    report.metrics.total(),
+                    vec![
+                        ("findings", report.lints.len().into()),
+                        ("funcs", report.funcs.into()),
+                        ("accesses", report.accesses.into()),
+                    ],
+                ));
+                out.push_str(&write_metrics(path, &events)?);
+                out.push('\n');
+            }
             let denied: Vec<&LintRule> = deny.iter().filter(|r| report.count(**r) > 0).collect();
             if !denied.is_empty() {
                 let names: Vec<&str> = denied.iter().map(|r| r.name()).collect();
@@ -339,6 +559,78 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 ));
             }
             Ok(out)
+        }
+        Command::Explain { line, alias, .. } => {
+            let module = atomig_frontc::compile(source, name)?;
+            let mut cfg = AtomigConfig::full();
+            cfg.alias_mode = *alias;
+            // Keep original function names in the ledger: decisions are
+            // reported where the source says they are, not post-inline.
+            cfg.inline = false;
+            let mut ported = module.clone();
+            let report = Pipeline::new(cfg.clone()).port_module(&mut ported);
+            let mut out = String::new();
+            match line {
+                Some(l) => {
+                    let ds = report.ledger.at_line(*l);
+                    if ds.is_empty() {
+                        out.push_str(&format!(
+                            "no porting decision at {name}.c:{l} \
+                             (run `atomig explain {name}.c` for the full tree)\n"
+                        ));
+                    } else {
+                        out.push_str(&format!("{} decision(s) at {name}.c:{l}\n", ds.len()));
+                        for d in ds {
+                            for step in report.ledger.chain(d, name) {
+                                out.push_str(&step);
+                                out.push('\n');
+                            }
+                        }
+                    }
+                }
+                None => out.push_str(&report.ledger.render_tree(name)),
+            }
+            // Pre-port race-candidate context: which shared accesses the
+            // audit saw, and the nearest non-covering synchronization.
+            let audit = lint_module(&module, &cfg);
+            let context: Vec<&atomig_core::Lint> = audit
+                .lints
+                .iter()
+                .filter(|l| l.rule == LintRule::RaceCandidate)
+                .filter(|l| match line {
+                    Some(n) => l.span == *n,
+                    None => true,
+                })
+                .collect();
+            if !context.is_empty() {
+                out.push_str("\nrace-candidate context (pre-port audit):\n");
+                for l in context {
+                    out.push_str(&format!(
+                        "  {name}.c:{} {}(): {}\n",
+                        l.span, l.func, l.message
+                    ));
+                    for n in &l.notes {
+                        out.push_str(&format!("    note: {n}\n"));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Command::Metrics { .. } => {
+            let tally =
+                trace::validate_metrics_jsonl(source).map_err(|e| format!("metrics: {e}"))?;
+            Ok(format!(
+                "valid metrics stream: {} event(s) — {} phase(s), {} decision(s), \
+                 {} finding(s), {} solver, {} checker; {} ns across phases\nphases: {}",
+                tally.events,
+                tally.phases,
+                tally.decisions,
+                tally.findings,
+                tally.solvers,
+                tally.checkers,
+                tally.total_phase_nanos,
+                tally.phase_names.join(", ")
+            ))
         }
         Command::Run { ported, .. } => {
             let mut module = atomig_frontc::compile(source, name)?;
@@ -404,10 +696,15 @@ mod tests {
                 report_only: true,
                 naive: false,
                 lasagne: false,
+                trace: false,
+                emit_metrics: None,
             }
         );
         assert_eq!(
-            parse_args(&args("port a.c --alias points-to")).unwrap(),
+            parse_args(&args(
+                "port a.c --alias points-to --trace --emit-metrics m.jsonl"
+            ))
+            .unwrap(),
             Command::Port {
                 file: "a.c".into(),
                 stage: Stage::Full,
@@ -415,6 +712,8 @@ mod tests {
                 report_only: false,
                 naive: false,
                 lasagne: false,
+                trace: true,
+                emit_metrics: Some("m.jsonl".into()),
             }
         );
         assert_eq!(
@@ -423,6 +722,7 @@ mod tests {
                 file: "a.c".into(),
                 model: ModelKind::Tso,
                 ported: true,
+                emit_metrics: None,
             }
         );
         assert!(parse_args(&args("port")).is_err());
@@ -505,6 +805,7 @@ mod tests {
                 ported: true,
                 alias: AliasMode::TypeBased,
                 deny: vec![LintRule::RaceCandidate],
+                emit_metrics: None,
             }
         );
         assert_eq!(
@@ -514,6 +815,7 @@ mod tests {
                 ported: false,
                 alias: AliasMode::PointsTo,
                 deny: vec![LintRule::RaceCandidate],
+                emit_metrics: None,
             }
         );
         assert!(parse_args(&args("lint")).is_err());
@@ -548,6 +850,152 @@ mod tests {
         ))
         .unwrap();
         assert!(execute(&cmd, MP, "mp").is_ok());
+    }
+
+    const SEQLOCK: &str = include_str!("../../../examples/seqlock_alias.c");
+
+    fn tmp(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("atomig-cli-{tag}-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn parses_explain_and_metrics() {
+        assert_eq!(
+            parse_args(&args("explain a.c:41 --alias points-to")).unwrap(),
+            Command::Explain {
+                file: "a.c".into(),
+                line: Some(41),
+                alias: AliasMode::PointsTo,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("explain a.c")).unwrap(),
+            Command::Explain {
+                file: "a.c".into(),
+                line: None,
+                alias: AliasMode::TypeBased,
+            }
+        );
+        assert_eq!(
+            parse_args(&args("metrics run.jsonl")).unwrap(),
+            Command::Metrics {
+                file: "run.jsonl".into(),
+            }
+        );
+        assert!(parse_args(&args("explain")).is_err());
+        assert!(parse_args(&args("explain a.c:forty")).is_err());
+        assert!(parse_args(&args("explain a.c --bogus")).is_err());
+        assert!(parse_args(&args("metrics")).is_err());
+        assert!(parse_args(&args("port a.c --emit-metrics")).is_err());
+    }
+
+    #[test]
+    fn explain_traces_a_buddy_upgrade_to_its_spin_seed() {
+        // Acceptance: the h->epoch store on line 30 of seqlock_alias.c is
+        // upgraded by sticky-buddy expansion; the chain must name the
+        // alias class, the backend, and end at the spin-control seed.
+        let cmd = parse_args(&args("explain seqlock_alias.c:30 --alias points-to")).unwrap();
+        let out = execute(&cmd, SEQLOCK, "seqlock_alias").unwrap();
+        assert!(out.contains("decision(s) at seqlock_alias.c:30"), "{out}");
+        assert!(out.contains("sticky-buddy"), "{out}");
+        assert!(out.contains("alias class"), "{out}");
+        assert!(out.contains("points-to"), "{out}");
+        assert!(out.contains("spin-control"), "{out}");
+        assert!(out.contains("writer_step"), "{out}");
+        // Same chain under the paper's type-based keys.
+        let cmd = parse_args(&args("explain seqlock_alias.c:30")).unwrap();
+        let out = execute(&cmd, SEQLOCK, "seqlock_alias").unwrap();
+        assert!(out.contains("sticky-buddy"), "{out}");
+        assert!(out.contains("type-based"), "{out}");
+    }
+
+    #[test]
+    fn explain_without_line_prints_the_full_tree() {
+        let cmd = parse_args(&args("explain mp.c")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("decision trace for `mp`"), "{out}");
+        assert!(out.contains("spin-control"), "{out}");
+        // Pre-port audit context rides along for shared plain accesses.
+        assert!(out.contains("race-candidate context"), "{out}");
+    }
+
+    #[test]
+    fn explain_reports_lines_without_decisions() {
+        let cmd = parse_args(&args("explain mp.c:1")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("no porting decision at mp.c:1"), "{out}");
+    }
+
+    #[test]
+    fn trace_flag_appends_the_decision_tree() {
+        let cmd = parse_args(&args("port mp.c --report --trace")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("spinloops        : 1"), "{out}");
+        assert!(out.contains("decision trace for `mp`"), "{out}");
+        assert!(out.contains("spin-control"), "{out}");
+    }
+
+    #[test]
+    fn emit_metrics_streams_validate_with_nonzero_timings() {
+        // Acceptance: port, lint, and check streams all round-trip
+        // through the schema validator with nonzero phase timings.
+        let p_port = tmp("port");
+        let cmd = parse_args(&args(&format!(
+            "port mp.c --report --emit-metrics {p_port}"
+        )))
+        .unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(out.contains("metrics: wrote"), "{out}");
+        let text = std::fs::read_to_string(&p_port).unwrap();
+        std::fs::remove_file(&p_port).ok();
+        let tally = atomig_core::validate_metrics_jsonl(&text).unwrap();
+        assert!(tally.total_phase_nanos > 0, "{tally:?}");
+        assert!(tally.decisions > 0, "{tally:?}");
+        assert!(tally.phase_names.iter().any(|n| n == "port-total"));
+        // The `metrics` subcommand accepts what `--emit-metrics` wrote.
+        let cmd = parse_args(&args("metrics m.jsonl")).unwrap();
+        let out = execute(&cmd, &text, "m").unwrap();
+        assert!(out.contains("valid metrics stream"), "{out}");
+
+        let p_lint = tmp("lint");
+        let cmd = parse_args(&args(&format!("lint mp.c --emit-metrics {p_lint}"))).unwrap();
+        execute(&cmd, MP, "mp").unwrap();
+        let text = std::fs::read_to_string(&p_lint).unwrap();
+        std::fs::remove_file(&p_lint).ok();
+        let tally = atomig_core::validate_metrics_jsonl(&text).unwrap();
+        assert!(tally.total_phase_nanos > 0, "{tally:?}");
+        assert!(tally.findings > 0 && tally.solvers == 1, "{tally:?}");
+        assert!(tally.phase_names.iter().any(|n| n == "lint-total"));
+
+        let p_check = tmp("check");
+        let cmd = parse_args(&args(&format!(
+            "check mp.c --ported --emit-metrics {p_check}"
+        )))
+        .unwrap();
+        execute(&cmd, MP, "mp").unwrap();
+        let text = std::fs::read_to_string(&p_check).unwrap();
+        std::fs::remove_file(&p_check).ok();
+        let tally = atomig_core::validate_metrics_jsonl(&text).unwrap();
+        assert!(tally.total_phase_nanos > 0, "{tally:?}");
+        assert!(tally.checkers == 1, "{tally:?}");
+        assert!(tally.phase_names.iter().any(|n| n == "check-explore"));
+    }
+
+    #[test]
+    fn metrics_rejects_malformed_streams() {
+        let cmd = parse_args(&args("metrics bad.jsonl")).unwrap();
+        let err = execute(&cmd, "{\"event\":\"phase\"}\n", "bad").unwrap_err();
+        assert!(err.contains("metrics:"), "{err}");
+    }
+
+    #[test]
+    fn baselines_reject_observability_flags() {
+        let cmd = parse_args(&args("port mp.c --naive --trace")).unwrap();
+        let err = execute(&cmd, MP, "mp").unwrap_err();
+        assert!(err.contains("AtoMig pipeline"), "{err}");
     }
 
     #[test]

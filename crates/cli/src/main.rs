@@ -20,7 +20,9 @@ fn main() -> ExitCode {
         atomig_cli::Command::Port { file, .. }
         | atomig_cli::Command::Check { file, .. }
         | atomig_cli::Command::Run { file, .. }
-        | atomig_cli::Command::Lint { file, .. } => file.clone(),
+        | atomig_cli::Command::Lint { file, .. }
+        | atomig_cli::Command::Explain { file, .. }
+        | atomig_cli::Command::Metrics { file } => file.clone(),
     };
     let source = match std::fs::read_to_string(&file) {
         Ok(s) => s,

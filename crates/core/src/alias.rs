@@ -208,6 +208,12 @@ impl AliasMap {
         &self.classes
     }
 
+    /// The overlap-class index of an access (points-to backend), the
+    /// `C<n>` the decision ledger names in sticky-buddy provenance.
+    pub fn class_index(&self, f: FuncId, i: InstId) -> Option<usize> {
+        self.access_class.get(&(f, i)).copied()
+    }
+
     /// Number of overlap classes (points-to backend).
     pub fn class_count(&self) -> usize {
         self.classes.len()

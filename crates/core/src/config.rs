@@ -81,6 +81,11 @@ pub struct AtomigConfig {
     /// experiments that we performed, blacklisting of volatile variables
     /// was never necessary" — empty by default.
     pub volatile_blacklist: Vec<atomig_mir::MemLoc>,
+    /// The time source behind every phase-timing field. Defaults to the
+    /// system monotonic clock; tests inject `atomig_testutil::ManualClock`
+    /// via [`crate::trace::Clock::from_fn`] to keep reports
+    /// byte-comparable.
+    pub clock: crate::trace::Clock,
 }
 
 impl AtomigConfig {
@@ -95,6 +100,7 @@ impl AtomigConfig {
             pointee_buddies: false,
             compiler_barrier_hints: false,
             volatile_blacklist: Vec::new(),
+            clock: crate::trace::Clock::system(),
         }
     }
 
@@ -125,6 +131,7 @@ impl AtomigConfig {
             pointee_buddies: false,
             compiler_barrier_hints: false,
             volatile_blacklist: Vec::new(),
+            clock: crate::trace::Clock::system(),
         }
     }
 }

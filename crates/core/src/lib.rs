@@ -56,6 +56,7 @@ pub mod alias;
 pub mod annotations;
 pub mod config;
 pub mod hints;
+pub mod json;
 pub mod lasagne;
 pub mod lint;
 pub mod naive;
@@ -63,6 +64,7 @@ pub mod optimistic;
 pub mod pipeline;
 pub mod report;
 pub mod spinloop;
+pub mod trace;
 pub mod transform;
 
 pub use alias::AliasMap;
@@ -74,3 +76,7 @@ pub use optimistic::{detect_optimistic, OptimisticLoop};
 pub use pipeline::Pipeline;
 pub use report::{approach_matrix, BarrierCensus, PortReport};
 pub use spinloop::{detect_spinloops, SpinLoopInfo};
+pub use trace::{
+    validate_metrics_jsonl, CheckerMetrics, Clock, Decision, DecisionLedger, MetricsTally,
+    PhaseStat, PipelineMetrics, SolverMetrics, TraceAction, TraceCause,
+};

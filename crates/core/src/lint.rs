@@ -44,11 +44,11 @@ use crate::annotations::{loc_of, scan_annotations};
 use crate::config::{AliasMode, AtomigConfig, Stage};
 use crate::optimistic::detect_optimistic;
 use crate::spinloop::detect_spinloops;
+use crate::trace::{PipelineMetrics, SolverMetrics};
 use atomig_analysis::{Cfg, InfluenceAnalysis, PointsTo, ThreadReach};
 use atomig_mir::{FuncId, Function, InstId, InstKind, MemLoc, Module, Ordering};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::time::Instant;
 
 /// The rules `atomig lint` checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -147,6 +147,8 @@ pub struct LintReport {
     pub thread_roots: usize,
     /// Wall-clock time of the audit.
     pub analysis_time: std::time::Duration,
+    /// Per-phase timings and counters ([`crate::trace`]).
+    pub metrics: PipelineMetrics,
 }
 
 impl LintReport {
@@ -488,16 +490,37 @@ struct Access {
 /// rule. `config` selects the stages mirrored by the dry run (use
 /// [`AtomigConfig::full`] for the complete audit).
 pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
-    let t0 = Instant::now();
+    let clock = &config.clock;
+    let t0 = clock.now();
     let mut report = LintReport {
         module: m.name.clone(),
         funcs: m.funcs.len(),
         ..LintReport::default()
     };
 
+    let s0 = clock.now();
     let pt = PointsTo::analyze(m);
+    let solve = clock.now() - s0;
+    let mut solver = SolverMetrics::from(pt.stats);
+    // Re-measure with the injected clock so metrics stay byte-comparable
+    // under a deterministic clock.
+    solver.solve_time = solve;
+    report.metrics.solver = Some(solver);
+    report
+        .metrics
+        .record("points-to-solve", solve, pt.stats.iterations);
+    let a0 = clock.now();
     let am_pt = AliasMap::build_points_to(m, &pt);
+    report
+        .metrics
+        .record("alias-build", clock.now() - a0, am_pt.class_count());
+    let d0 = clock.now();
     let d = dry_run(m, config, &am_pt);
+    report.metrics.record(
+        "dry-run",
+        clock.now() - d0,
+        d.sc.values().map(HashMap::len).sum(),
+    );
     let reach = ThreadReach::new(m);
     report.thread_roots = reach.roots.len();
 
@@ -512,6 +535,7 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
 
     // ---- Rule: fence-placement ----------------------------------------
     // Every would-be mark must already be realized in the module.
+    let f0 = clock.now();
     let mut lints: Vec<Lint> = Vec::new();
     for fid in m.func_ids() {
         let func = m.func(fid);
@@ -577,6 +601,10 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
         }
     }
 
+    report
+        .metrics
+        .record("lint-fence-placement", clock.now() - f0, lints.len());
+
     // ---- Rule: race-candidate ------------------------------------------
     // Intersect thread reachability with points-to overlap: a class of
     // mutually aliasing accesses fires when two distinct thread roots
@@ -584,6 +612,7 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
     // Within a firing class, every plain access not covered by realized
     // synchronization (instruction-granular, either direction) is
     // reported.
+    let r0 = clock.now();
     let mut info: HashMap<(FuncId, InstId), Access> = HashMap::new();
     let mut coverage: HashMap<FuncId, Coverage> = HashMap::new();
     for fid in m.func_ids() {
@@ -736,10 +765,17 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
     lints.sort_by(|a, b| {
         (a.func.as_str(), a.span, a.inst.0).cmp(&(b.func.as_str(), b.span, b.inst.0))
     });
+    report
+        .metrics
+        .record("lint-race-candidate", clock.now() - r0, race_lints.len());
     lints.extend(race_lints);
 
     report.lints = lints;
-    report.analysis_time = t0.elapsed();
+    report.analysis_time = clock.now() - t0;
+    let findings = report.lints.len();
+    report
+        .metrics
+        .record("lint-total", clock.now() - t0, findings);
     report
 }
 

@@ -7,11 +7,35 @@ use crate::config::{AliasMode, AtomigConfig, Stage};
 use crate::optimistic::detect_optimistic;
 use crate::report::{BarrierCensus, PortReport};
 use crate::spinloop::detect_spinloops;
+use crate::trace::{AliasClass, Decision, DecisionLedger, SolverMetrics, TraceAction, TraceCause};
 use crate::transform::{self, MarkSet};
 use atomig_analysis::{inline_module, InfluenceAnalysis, PointsTo};
 use atomig_mir::{FuncId, InstId, InstKind, MemLoc, Module};
-use std::collections::HashSet;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Appends one ledger decision, resolving the access's span and alias key
+/// from the module-wide index built after inlining.
+fn record(
+    ledger: &mut DecisionLedger,
+    m: &Module,
+    info: &HashMap<(FuncId, InstId), (u32, MemLoc)>,
+    f: FuncId,
+    i: InstId,
+    action: TraceAction,
+    cause: TraceCause,
+) {
+    let (span, loc) = info.get(&(f, i)).cloned().unwrap_or((0, MemLoc::Unknown));
+    ledger.record(Decision {
+        func: f,
+        func_name: m.func(f).name.clone(),
+        inst: i,
+        span,
+        loc,
+        action,
+        cause,
+    });
+}
 
 /// The AtoMig porting pipeline.
 ///
@@ -62,7 +86,8 @@ impl Pipeline {
 
     /// Ports `m` in place and reports what happened.
     pub fn port_module(&self, m: &mut Module) -> PortReport {
-        let t0 = Instant::now();
+        let clock = &self.config.clock;
+        let t0 = clock.now();
         let mut report = PortReport {
             module: m.name.clone(),
             before: BarrierCensus::of(m),
@@ -70,16 +95,46 @@ impl Pipeline {
         };
         if self.config.stage == Stage::Original {
             report.after = report.before;
-            report.porting_time = t0.elapsed();
+            report.porting_time = clock.now() - t0;
+            report.metrics.record("port-total", report.porting_time, 0);
             return report;
         }
 
+        let i0 = clock.now();
         if self.config.inline {
             report.inlined_calls = inline_module(m, &self.config.inline_options);
+            report
+                .metrics
+                .record("inline", clock.now() - i0, report.inlined_calls);
         }
 
+        // Module-wide access index (span + alias key per access), built
+        // after inlining so ledger provenance names the analyzed module.
+        let mut access_info: HashMap<(FuncId, InstId), (u32, MemLoc)> = HashMap::new();
+        for fid in m.func_ids() {
+            let func = m.func(fid);
+            let index = func.inst_index();
+            for (_, inst) in func.insts() {
+                if inst.kind.is_memory_access() {
+                    access_info.insert(
+                        (fid, inst.id),
+                        (inst.span, loc_of(func, &index, &inst.kind)),
+                    );
+                }
+            }
+        }
+        let mut ledger = DecisionLedger::default();
+
         let mut marks = MarkSet::default();
-        let mut seed_locs: HashSet<MemLoc> = HashSet::new();
+        // Seed keys in insertion order (a Vec, deduplicated on the side)
+        // so sticky-buddy expansion — and with it the ledger — iterates
+        // deterministically.
+        let mut seed_locs: Vec<MemLoc> = Vec::new();
+        let mut seed_seen: HashSet<MemLoc> = HashSet::new();
+        // First access that seeded each key / optimistic location, for
+        // buddy and writer-fence provenance.
+        let mut seed_of_loc: HashMap<MemLoc, (FuncId, InstId)> = HashMap::new();
+        let mut seed_of_optimistic: HashMap<MemLoc, (FuncId, InstId)> = HashMap::new();
         let mut optimistic_locs: HashSet<MemLoc> = HashSet::new();
         let mut optimistic_accesses: Vec<(FuncId, InstId)> = Vec::new();
         // Whether a location key may seed sticky-buddy expansion. The
@@ -90,17 +145,45 @@ impl Pipeline {
         let seedable =
             |l: &MemLoc| l.is_buddy_key() || (pointee && matches!(l, MemLoc::Pointee(_)));
 
+        let mut t_ann = Duration::ZERO;
+        let mut t_spin = Duration::ZERO;
+        let mut t_opt = Duration::ZERO;
+
         for fid in m.func_ids() {
             let func = m.func(fid);
+            let mut add_seed =
+                |loc: &MemLoc, seeder: Option<(FuncId, InstId)>, seed_locs: &mut Vec<MemLoc>| {
+                    if seedable(loc) {
+                        if let Some(s) = seeder {
+                            seed_of_loc.entry(loc.clone()).or_insert(s);
+                        }
+                        if seed_seen.insert(loc.clone()) {
+                            seed_locs.push(loc.clone());
+                        }
+                    }
+                };
 
             // Pass 1: explicit annotations (§3.2).
+            let p0 = clock.now();
             let ann = scan_annotations(func, &self.config.volatile_blacklist);
             report.explicit_annotations += ann.atomics.len() + ann.volatiles.len();
-            for mk in ann.atomics.iter().chain(ann.volatiles.iter()) {
+            for (mk, volatile) in ann
+                .atomics
+                .iter()
+                .map(|mk| (mk, false))
+                .chain(ann.volatiles.iter().map(|mk| (mk, true)))
+            {
                 marks.mark_sc(fid, mk.inst);
-                if seedable(&mk.loc) {
-                    seed_locs.insert(mk.loc.clone());
-                }
+                record(
+                    &mut ledger,
+                    m,
+                    &access_info,
+                    fid,
+                    mk.inst,
+                    TraceAction::UpgradeSc,
+                    TraceCause::Annotation { volatile },
+                );
+                add_seed(&mk.loc, Some((fid, mk.inst)), &mut seed_locs);
             }
 
             // §6 extension (opt-in): compiler barriers as entry points.
@@ -108,11 +191,20 @@ impl Pipeline {
                 for mk in crate::hints::barrier_adjacent_accesses(func) {
                     report.barrier_hints += 1;
                     marks.mark_sc(fid, mk.inst);
-                    if seedable(&mk.loc) {
-                        seed_locs.insert(mk.loc.clone());
-                    }
+                    record(
+                        &mut ledger,
+                        m,
+                        &access_info,
+                        fid,
+                        mk.inst,
+                        TraceAction::UpgradeSc,
+                        TraceCause::BarrierHint,
+                    );
+                    add_seed(&mk.loc, Some((fid, mk.inst)), &mut seed_locs);
                 }
             }
+            let p1 = clock.now();
+            t_ann += p1 - p0;
 
             if self.config.stage < Stage::Spin {
                 continue;
@@ -122,16 +214,38 @@ impl Pipeline {
             let inf = InfluenceAnalysis::new(func);
             let spins = detect_spinloops(func, &inf);
             report.spinloops += spins.len();
-            for s in &spins {
+            let header_span_of = |s: &crate::spinloop::SpinLoopInfo| {
+                func.block(s.natural.header)
+                    .insts
+                    .iter()
+                    .map(|i| i.span)
+                    .find(|&sp| sp != 0)
+                    .unwrap_or(0)
+            };
+            for (si, s) in spins.iter().enumerate() {
+                let header_span = header_span_of(s);
                 for &c in &s.controls {
                     marks.mark_sc(fid, c);
+                    record(
+                        &mut ledger,
+                        m,
+                        &access_info,
+                        fid,
+                        c,
+                        TraceAction::UpgradeSc,
+                        TraceCause::SpinControl {
+                            loop_index: si,
+                            header_span,
+                        },
+                    );
                 }
+                let c0 = s.controls.first().map(|&c| (fid, c));
                 for l in &s.control_locs {
-                    if seedable(l) {
-                        seed_locs.insert(l.clone());
-                    }
+                    add_seed(l, c0, &mut seed_locs);
                 }
             }
+            let p2 = clock.now();
+            t_spin += p2 - p1;
 
             if self.config.stage < Stage::Full {
                 continue;
@@ -141,21 +255,65 @@ impl Pipeline {
             report.optiloops += opts.len();
             let index = func.inst_index();
             for o in &opts {
+                let header_span = header_span_of(&spins[o.spin_index]);
                 for &c in &o.optimistic_controls {
                     // Explicit barrier before each optimistic-control load
                     // within the optimistic loop (Figure 6, reader side).
                     if matches!(index.get(&c), Some(InstKind::Load { .. })) {
                         marks.mark_fence_before(fid, c);
+                        record(
+                            &mut ledger,
+                            m,
+                            &access_info,
+                            fid,
+                            c,
+                            TraceAction::FenceBefore,
+                            TraceCause::OptimisticControl {
+                                loop_index: o.spin_index,
+                                header_span,
+                            },
+                        );
+                    } else {
+                        record(
+                            &mut ledger,
+                            m,
+                            &access_info,
+                            fid,
+                            c,
+                            TraceAction::Seed,
+                            TraceCause::OptimisticControl {
+                                loop_index: o.spin_index,
+                                header_span,
+                            },
+                        );
                     }
                     optimistic_accesses.push((fid, c));
                 }
+                let c0 = o.optimistic_controls.first().map(|&c| (fid, c));
                 for l in &o.control_locs {
                     optimistic_locs.insert(l.clone());
-                    if seedable(l) {
-                        seed_locs.insert(l.clone());
+                    if let Some(s) = c0 {
+                        seed_of_optimistic.entry(l.clone()).or_insert(s);
                     }
+                    add_seed(l, c0, &mut seed_locs);
                 }
             }
+            t_opt += clock.now() - p2;
+        }
+        report.metrics.record(
+            "annotations",
+            t_ann,
+            report.explicit_annotations + report.barrier_hints,
+        );
+        if self.config.stage >= Stage::Spin {
+            report
+                .metrics
+                .record("spin-detect", t_spin, report.spinloops);
+        }
+        if self.config.stage >= Stage::Full {
+            report
+                .metrics
+                .record("optimistic-detect", t_opt, report.optiloops);
         }
 
         // Pass 3: alias exploration — once atomic, always atomic (§3.4) —
@@ -164,13 +322,32 @@ impl Pipeline {
         match self.config.alias_mode {
             AliasMode::TypeBased => {
                 if self.config.alias_exploration {
+                    let a0 = clock.now();
                     let am = AliasMap::build(m, self.config.pointee_buddies);
+                    report
+                        .metrics
+                        .record("alias-build", clock.now() - a0, am.accesses_scanned);
                     report.seed_locations = seed_locs.len();
                     for loc in &seed_locs {
                         for &(f, i) in am.buddies(loc) {
                             let newly = marks.sc_marks.entry(f).or_default().insert(i);
                             if newly {
                                 report.buddy_marks += 1;
+                                if let Some(&seed) = seed_of_loc.get(loc) {
+                                    record(
+                                        &mut ledger,
+                                        m,
+                                        &access_info,
+                                        f,
+                                        i,
+                                        TraceAction::UpgradeSc,
+                                        TraceCause::StickyBuddy {
+                                            seed,
+                                            class: AliasClass::Key(loc.clone()),
+                                            backend: AliasMode::TypeBased,
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
@@ -187,6 +364,16 @@ impl Pipeline {
                             if optimistic_locs.contains(&loc) {
                                 marks.mark_fence_after(fid, inst.id);
                                 marks.mark_sc(fid, inst.id);
+                                let seed = seed_of_optimistic.get(&loc).copied();
+                                record(
+                                    &mut ledger,
+                                    m,
+                                    &access_info,
+                                    fid,
+                                    inst.id,
+                                    TraceAction::FenceAfter,
+                                    TraceCause::OptimisticStore { seed },
+                                );
                             }
                         }
                     }
@@ -194,17 +381,33 @@ impl Pipeline {
             }
             AliasMode::PointsTo => {
                 if self.config.alias_exploration || !optimistic_accesses.is_empty() {
+                    let s0 = clock.now();
                     let pt = PointsTo::analyze(m);
+                    let solve = clock.now() - s0;
+                    let mut solver = SolverMetrics::from(pt.stats);
+                    // Re-measure with the injected clock so metrics stay
+                    // byte-comparable under a deterministic clock.
+                    solver.solve_time = solve;
+                    report.metrics.solver = Some(solver);
+                    report
+                        .metrics
+                        .record("points-to-solve", solve, pt.stats.iterations);
+                    let a0 = clock.now();
                     let am = AliasMap::build_points_to(m, &pt);
+                    report
+                        .metrics
+                        .record("alias-build", clock.now() - a0, am.class_count());
                     if self.config.alias_exploration {
                         // Seeds are the accesses themselves: everything
                         // already marked SC plus the optimistic controls
-                        // (which so far only carry fences).
+                        // (which so far only carry fences). Sorted so the
+                        // expansion — and the ledger — is deterministic.
                         let mut seeds: Vec<(FuncId, InstId)> = marks
                             .sc_marks
                             .iter()
                             .flat_map(|(&f, is)| is.iter().map(move |&i| (f, i)))
                             .collect();
+                        seeds.sort_unstable_by_key(|&(f, i)| (f.0, i.0));
                         seeds.extend(optimistic_accesses.iter().copied());
                         report.seed_locations = seeds.len();
                         for (f, i) in seeds {
@@ -212,6 +415,23 @@ impl Pipeline {
                                 let newly = marks.sc_marks.entry(bf).or_default().insert(bi);
                                 if newly {
                                     report.buddy_marks += 1;
+                                    let class = am
+                                        .class_index(bf, bi)
+                                        .map(AliasClass::Class)
+                                        .unwrap_or(AliasClass::Class(0));
+                                    record(
+                                        &mut ledger,
+                                        m,
+                                        &access_info,
+                                        bf,
+                                        bi,
+                                        TraceAction::UpgradeSc,
+                                        TraceCause::StickyBuddy {
+                                            seed: (f, i),
+                                            class,
+                                            backend: AliasMode::PointsTo,
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -228,11 +448,23 @@ impl Pipeline {
                                     .map(move |(_, i)| (fid, i.id))
                             })
                             .collect();
+                        let mut fenced: HashSet<(FuncId, InstId)> = HashSet::new();
                         for &(f, i) in &optimistic_accesses {
                             for &(bf, bi) in am.buddies_of_access(f, i) {
                                 if writers.contains(&(bf, bi)) {
                                     marks.mark_fence_after(bf, bi);
                                     marks.mark_sc(bf, bi);
+                                    if fenced.insert((bf, bi)) {
+                                        record(
+                                            &mut ledger,
+                                            m,
+                                            &access_info,
+                                            bf,
+                                            bi,
+                                            TraceAction::FenceAfter,
+                                            TraceCause::OptimisticStore { seed: Some((f, i)) },
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -243,11 +475,21 @@ impl Pipeline {
         marks.optimistic_locs = optimistic_locs;
 
         // Pass 4: transformation.
+        let x0 = clock.now();
         let stats = transform::apply(m, &marks);
+        report.metrics.record(
+            "transform",
+            clock.now() - x0,
+            stats.sc_upgraded + stats.fences_inserted,
+        );
         report.implicit_barriers_added = stats.sc_upgraded;
         report.explicit_barriers_added = stats.fences_inserted;
         report.after = BarrierCensus::of(m);
-        report.porting_time = t0.elapsed();
+        report.porting_time = clock.now() - t0;
+        report
+            .metrics
+            .record("port-total", report.porting_time, ledger.len());
+        report.ledger = ledger;
         report
     }
 }

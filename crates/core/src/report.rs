@@ -1,5 +1,6 @@
 //! Porting reports and the Table 1 comparison matrix.
 
+use crate::trace::{DecisionLedger, PipelineMetrics};
 use atomig_mir::{InstKind, Module};
 use std::fmt;
 use std::time::Duration;
@@ -71,6 +72,10 @@ pub struct PortReport {
     pub after: BarrierCensus,
     /// Wall-clock time of the pipeline itself.
     pub porting_time: Duration,
+    /// Per-phase timings and counters ([`crate::trace`]).
+    pub metrics: PipelineMetrics,
+    /// Every decision the run made, with provenance ([`crate::trace`]).
+    pub ledger: DecisionLedger,
 }
 
 impl fmt::Display for PortReport {

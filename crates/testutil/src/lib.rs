@@ -73,9 +73,63 @@ impl Rng {
     }
 }
 
+/// A deterministic clock for byte-comparable timing fields.
+///
+/// Every [`ManualClock::now`] reading advances an atomic tick counter by a
+/// fixed step, so successive readings are strictly monotone and identical
+/// across runs. Wire it into `atomig_core` with
+/// `Clock::from_fn(move || clock.now())` (this crate stays dependency-free,
+/// so the adapter lives with the caller).
+///
+/// # Examples
+///
+/// ```
+/// use atomig_testutil::ManualClock;
+/// use std::time::Duration;
+/// let c = ManualClock::new(1000);
+/// assert_eq!(c.now(), Duration::from_nanos(1000));
+/// assert_eq!(c.now(), Duration::from_nanos(2000));
+/// ```
+#[derive(Debug)]
+pub struct ManualClock {
+    ticks: std::sync::atomic::AtomicU64,
+    step: u64,
+}
+
+impl ManualClock {
+    /// A clock advancing `step_nanos` nanoseconds per reading.
+    pub fn new(step_nanos: u64) -> ManualClock {
+        ManualClock {
+            ticks: std::sync::atomic::AtomicU64::new(0),
+            step: step_nanos,
+        }
+    }
+
+    /// The next reading (strictly after every previous one).
+    pub fn now(&self) -> std::time::Duration {
+        let t = self
+            .ticks
+            .fetch_add(self.step, std::sync::atomic::Ordering::Relaxed);
+        std::time::Duration::from_nanos(t + self.step)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn manual_clock_is_monotone_and_reproducible() {
+        let a = ManualClock::new(500);
+        let b = ManualClock::new(500);
+        let mut last = std::time::Duration::ZERO;
+        for _ in 0..8 {
+            let (ta, tb) = (a.now(), b.now());
+            assert_eq!(ta, tb);
+            assert!(ta > last);
+            last = ta;
+        }
+    }
 
     #[test]
     fn streams_are_deterministic() {

@@ -80,6 +80,10 @@ pub struct Verdict {
     pub states: usize,
     /// Completed executions (all threads finished).
     pub executions: u64,
+    /// States reached again through a different interleaving and pruned.
+    pub revisits: u64,
+    /// Peak number of frontier states tracked at once.
+    pub peak_tracked: usize,
     /// True if limits cut the exploration short.
     pub truncated: bool,
 }
@@ -94,12 +98,20 @@ impl Verdict {
 impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.violation {
-            Some(v) => write!(f, "VIOLATION: {v} ({} states)", self.states),
-            None if self.truncated => write!(f, "TRUNCATED after {} states", self.states),
+            Some(v) => write!(
+                f,
+                "VIOLATION: {v} ({} states, {} revisits, peak {} tracked)",
+                self.states, self.revisits, self.peak_tracked
+            ),
+            None if self.truncated => write!(
+                f,
+                "TRUNCATED after {} states ({} revisits, peak {} tracked)",
+                self.states, self.revisits, self.peak_tracked
+            ),
             None => write!(
                 f,
-                "PASS ({} states, {} executions)",
-                self.states, self.executions
+                "PASS ({} states, {} executions, {} revisits, peak {} tracked)",
+                self.states, self.executions, self.revisits, self.peak_tracked
             ),
         }
     }
@@ -184,6 +196,8 @@ impl Checker {
             violation: None,
             states: 0,
             executions: 0,
+            revisits: 0,
+            peak_tracked: 0,
             truncated: false,
         };
         initial.mem.gc();
@@ -193,6 +207,7 @@ impl Checker {
         verdict.states += 1;
         // The stack holds fresh (deduplicated, counted) states only.
         let mut stack: Vec<Machine<'m, M>> = vec![initial];
+        verdict.peak_tracked = 1;
 
         'outer: while let Some(mut machine) = stack.pop() {
             // Fast path: follow deterministic chains in place, cloning
@@ -269,7 +284,11 @@ impl Checker {
                                         chain = Some(next);
                                     } else {
                                         stack.push(next);
+                                        verdict.peak_tracked =
+                                            verdict.peak_tracked.max(stack.len() + 1);
                                     }
+                                } else {
+                                    verdict.revisits += 1;
                                 }
                             }
                         }
