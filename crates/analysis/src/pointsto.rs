@@ -26,7 +26,9 @@
 //! iterations per node.
 
 use crate::escape::EscapeInfo;
-use atomig_mir::{Builtin, Callee, FuncId, GlobalId, InstId, InstKind, Module, Terminator, Value};
+use atomig_mir::{
+    Builtin, Callee, FuncId, Function, GlobalId, InstId, InstKind, Module, Terminator, Value,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -180,6 +182,191 @@ enum NodeKey {
     Lit(CellId),
 }
 
+/// A value operand that resolves to a constraint node, named symbolically
+/// so constraint *generation* can run per function on worker threads
+/// without touching the solver's interning tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RawNode {
+    /// The SSA result of an instruction.
+    Var(FuncId, InstId),
+    /// A function parameter.
+    Param(FuncId, u32),
+    /// A global used as a literal address.
+    Global(GlobalId),
+}
+
+/// One base constraint, generated in parallel and applied sequentially in
+/// `FuncId` order. The apply step replays the exact node- and
+/// cell-interning order of the old single-threaded generator, so solver
+/// statistics (constraints, iterations, passes) are unchanged for any job
+/// count.
+#[derive(Debug, Clone)]
+enum RawConstraint {
+    /// `alloca`: a stack object and its address-of constraint.
+    StackObj { f: FuncId, i: InstId },
+    /// `malloc`: a heap object per static call site.
+    HeapObj { f: FuncId, i: InstId },
+    /// `dst ⊇ *(pts p)`.
+    Load { p: RawNode, dst: RawNode },
+    /// `*(pts p) ⊇ src`.
+    Store { p: RawNode, src: RawNode },
+    /// A store with only one resolvable side: no constraint, but the old
+    /// generator still interned the node, which later phases may look up.
+    Touch { n: RawNode },
+    /// `cmpxchg`/`rmw`: a load of the old contents plus, when the value
+    /// operand resolves, a store of the new one.
+    LoadStore {
+        p: RawNode,
+        dst: RawNode,
+        src: Option<RawNode>,
+    },
+    /// `dst ⊇ { c.path ++ path | c ∈ pts base }`.
+    Gep {
+        base: RawNode,
+        dst: RawNode,
+        path: Vec<i64>,
+    },
+    /// `cast`: a type-agnostic copy.
+    Copy { src: RawNode, dst: RawNode },
+    /// Pointer ± integer arithmetic: the destination node exists even
+    /// when no operand resolves, matching the old generator.
+    Bin { dst: RawNode, ops: Vec<RawNode> },
+    /// A direct call: argument-to-parameter binds plus the return bind.
+    Call {
+        binds: Vec<(RawNode, u32)>,
+        target: FuncId,
+        dst: RawNode,
+    },
+    /// `spawn(@fn, arg)` binds the argument to the target's first
+    /// parameter.
+    SpawnBind { src: RawNode, target: FuncId },
+    /// `ret v` binds the value to the function's return node.
+    RetBind { src: RawNode, f: FuncId },
+}
+
+/// The node a value resolves to, or `None` for non-pointers. Mirrors
+/// `Solver::node_of` without interning anything.
+fn raw_of(f: FuncId, v: Value) -> Option<RawNode> {
+    match v {
+        Value::Inst(id) => Some(RawNode::Var(f, id)),
+        Value::Param(i) => Some(RawNode::Param(f, i)),
+        Value::Global(g) => Some(RawNode::Global(g)),
+        Value::Const(_) | Value::Null | Value::Func(_) => None,
+    }
+}
+
+/// Generates the base constraints of one function. Pure — safe to run
+/// for many functions in parallel.
+fn gen_func(fid: FuncId, func: &Function) -> Vec<RawConstraint> {
+    let mut out = Vec::new();
+    for (_, inst) in func.insts() {
+        let var = RawNode::Var(fid, inst.id);
+        match &inst.kind {
+            InstKind::Alloca { .. } => out.push(RawConstraint::StackObj { f: fid, i: inst.id }),
+            InstKind::Load { ptr, .. } => {
+                if let Some(p) = raw_of(fid, *ptr) {
+                    out.push(RawConstraint::Load { p, dst: var });
+                }
+            }
+            InstKind::Store { ptr, val, .. } => match (raw_of(fid, *ptr), raw_of(fid, *val)) {
+                (Some(p), Some(s)) => out.push(RawConstraint::Store { p, src: s }),
+                (Some(n), None) | (None, Some(n)) => out.push(RawConstraint::Touch { n }),
+                (None, None) => {}
+            },
+            InstKind::Cmpxchg { ptr, new, .. } => {
+                // The result is the old contents; on success the `new`
+                // value is stored.
+                if let Some(p) = raw_of(fid, *ptr) {
+                    out.push(RawConstraint::LoadStore {
+                        p,
+                        dst: var,
+                        src: raw_of(fid, *new),
+                    });
+                }
+            }
+            InstKind::Rmw { ptr, val, .. } => {
+                // `xchg` stores the operand verbatim; the arithmetic ops
+                // over-approximate.
+                if let Some(p) = raw_of(fid, *ptr) {
+                    out.push(RawConstraint::LoadStore {
+                        p,
+                        dst: var,
+                        src: raw_of(fid, *val),
+                    });
+                }
+            }
+            InstKind::Gep { base, indices, .. } => {
+                // The leading index scales whole objects (LLVM semantics)
+                // and is dropped, which also makes pointer arithmetic
+                // `p + n` alias `p` — sound for a may-analysis.
+                let path: Vec<i64> = indices
+                    .iter()
+                    .skip(1)
+                    .map(|i| i.as_const().unwrap_or(ANY_INDEX))
+                    .collect();
+                if let Some(b) = raw_of(fid, *base) {
+                    out.push(RawConstraint::Gep {
+                        base: b,
+                        dst: var,
+                        path,
+                    });
+                }
+            }
+            InstKind::Cast { value, .. } => {
+                // Type-agnostic copy: pointers survive laundering through
+                // integers (`(long)p` … `(T*)v`).
+                if let Some(s) = raw_of(fid, *value) {
+                    out.push(RawConstraint::Copy { src: s, dst: var });
+                }
+            }
+            InstKind::Bin { op, lhs, rhs, .. } => {
+                // Pointer ± integer arithmetic on laundered pointers:
+                // propagate through add/sub only.
+                if matches!(op, atomig_mir::BinOp::Add | atomig_mir::BinOp::Sub) {
+                    out.push(RawConstraint::Bin {
+                        dst: var,
+                        ops: [*lhs, *rhs]
+                            .into_iter()
+                            .filter_map(|v| raw_of(fid, v))
+                            .collect(),
+                    });
+                }
+            }
+            InstKind::Cmp { .. } | InstKind::Fence { .. } => {}
+            InstKind::Call { callee, args, .. } => match callee {
+                Callee::Func(t) => out.push(RawConstraint::Call {
+                    binds: args
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(j, a)| raw_of(fid, *a).map(|s| (s, j as u32)))
+                        .collect(),
+                    target: *t,
+                    dst: var,
+                }),
+                Callee::Builtin(Builtin::Malloc) => {
+                    out.push(RawConstraint::HeapObj { f: fid, i: inst.id })
+                }
+                Callee::Builtin(Builtin::Spawn) => {
+                    if let (Some(Value::Func(t)), Some(a)) = (args.first(), args.get(1)) {
+                        if let Some(s) = raw_of(fid, *a) {
+                            out.push(RawConstraint::SpawnBind { src: s, target: *t });
+                        }
+                    }
+                }
+                Callee::Builtin(_) => {}
+            },
+        }
+    }
+    for b in func.block_ids() {
+        if let Terminator::Ret(Some(v)) = &func.block(b).term {
+            if let Some(s) = raw_of(fid, *v) {
+                out.push(RawConstraint::RetBind { src: s, f: fid });
+            }
+        }
+    }
+    out
+}
+
 struct Solver {
     cells: Vec<Cell>,
     cell_ids: HashMap<Cell, CellId>,
@@ -265,20 +452,6 @@ impl Solver {
         n
     }
 
-    /// The constraint node holding a value, or `None` for non-pointers
-    /// (constants, function references).
-    fn node_of(&mut self, f: FuncId, v: Value) -> Option<u32> {
-        match v {
-            Value::Inst(id) => Some(self.node(NodeKey::Var(f, id))),
-            Value::Param(i) => Some(self.node(NodeKey::Param(f, i))),
-            Value::Global(g) => {
-                let c = self.base_cell(ObjBase::Global(g));
-                Some(self.node(NodeKey::Lit(c)))
-            }
-            Value::Const(_) | Value::Null | Value::Func(_) => None,
-        }
-    }
-
     fn enqueue(&mut self, n: u32) {
         if !self.queued[n as usize] {
             self.queued[n as usize] = true;
@@ -327,139 +500,118 @@ impl Solver {
         })
     }
 
-    fn generate(&mut self, m: &Module) {
-        for fid in m.func_ids() {
-            let func = m.func(fid);
-            for (_, inst) in func.insts() {
-                let var = NodeKey::Var(fid, inst.id);
-                match &inst.kind {
-                    InstKind::Alloca { .. } => {
-                        let c = self.base_cell(ObjBase::Stack(fid, inst.id));
-                        let n = self.node(var);
-                        self.add_pts(n, c);
-                    }
-                    InstKind::Load { ptr, .. } => {
-                        if let Some(p) = self.node_of(fid, *ptr) {
-                            let dst = self.node(var);
-                            self.load_out[p as usize].push(dst);
-                            self.stats.constraints += 1;
-                        }
-                    }
-                    InstKind::Store { ptr, val, .. } => {
-                        if let (Some(p), Some(s)) =
-                            (self.node_of(fid, *ptr), self.node_of(fid, *val))
-                        {
-                            self.store_in[p as usize].push(s);
-                            self.stats.constraints += 1;
-                        }
-                    }
-                    InstKind::Cmpxchg { ptr, new, .. } => {
-                        // The result is the old contents; on success the
-                        // `new` value is stored.
-                        if let Some(p) = self.node_of(fid, *ptr) {
-                            let dst = self.node(var);
-                            self.load_out[p as usize].push(dst);
-                            self.stats.constraints += 1;
-                            if let Some(s) = self.node_of(fid, *new) {
-                                self.store_in[p as usize].push(s);
-                                self.stats.constraints += 1;
-                            }
-                        }
-                    }
-                    InstKind::Rmw { ptr, val, .. } => {
-                        if let Some(p) = self.node_of(fid, *ptr) {
-                            let dst = self.node(var);
-                            self.load_out[p as usize].push(dst);
-                            self.stats.constraints += 1;
-                            if let Some(s) = self.node_of(fid, *val) {
-                                // `xchg` stores the operand verbatim; the
-                                // arithmetic ops over-approximate.
-                                self.store_in[p as usize].push(s);
-                                self.stats.constraints += 1;
-                            }
-                        }
-                    }
-                    InstKind::Gep { base, indices, .. } => {
-                        // The leading index scales whole objects (LLVM
-                        // semantics) and is dropped, which also makes
-                        // pointer arithmetic `p + n` alias `p` — sound
-                        // for a may-analysis.
-                        let path: Vec<i64> = indices
-                            .iter()
-                            .skip(1)
-                            .map(|i| i.as_const().unwrap_or(ANY_INDEX))
-                            .collect();
-                        if let Some(b) = self.node_of(fid, *base) {
-                            let dst = self.node(var);
-                            self.gep_out[b as usize].push((dst, path));
-                            self.stats.constraints += 1;
-                        }
-                    }
-                    InstKind::Cast { value, .. } => {
-                        // Type-agnostic copy: pointers survive laundering
-                        // through integers (`(long)p` … `(T*)v`).
-                        if let Some(s) = self.node_of(fid, *value) {
-                            let dst = self.node(var);
-                            self.add_copy(s, dst);
-                            self.stats.constraints += 1;
-                        }
-                    }
-                    InstKind::Bin { op, lhs, rhs, .. } => {
-                        // Pointer ± integer arithmetic on laundered
-                        // pointers: propagate through add/sub only.
-                        if matches!(op, atomig_mir::BinOp::Add | atomig_mir::BinOp::Sub) {
-                            let dst = self.node(var);
-                            for v in [*lhs, *rhs] {
-                                if let Some(s) = self.node_of(fid, v) {
-                                    self.add_copy(s, dst);
-                                    self.stats.constraints += 1;
-                                }
-                            }
-                        }
-                    }
-                    InstKind::Cmp { .. } | InstKind::Fence { .. } => {}
-                    InstKind::Call { callee, args, .. } => match callee {
-                        Callee::Func(t) => {
-                            for (j, a) in args.iter().enumerate() {
-                                if let Some(s) = self.node_of(fid, *a) {
-                                    let p = self.node(NodeKey::Param(*t, j as u32));
-                                    self.add_copy(s, p);
-                                    self.stats.constraints += 1;
-                                }
-                            }
-                            let r = self.node(NodeKey::Ret(*t));
-                            let dst = self.node(var);
-                            self.add_copy(r, dst);
-                            self.stats.constraints += 1;
-                        }
-                        Callee::Builtin(Builtin::Malloc) => {
-                            let c = self.base_cell(ObjBase::Heap(fid, inst.id));
-                            let n = self.node(var);
-                            self.add_pts(n, c);
-                        }
-                        Callee::Builtin(Builtin::Spawn) => {
-                            // `spawn(@fn, arg)` binds the argument to the
-                            // target's first parameter.
-                            if let (Some(Value::Func(t)), Some(a)) = (args.first(), args.get(1)) {
-                                if let Some(s) = self.node_of(fid, *a) {
-                                    let p = self.node(NodeKey::Param(*t, 0));
-                                    self.add_copy(s, p);
-                                    self.stats.constraints += 1;
-                                }
-                            }
-                        }
-                        Callee::Builtin(_) => {}
-                    },
+    /// Interns the node behind a symbolic operand (mirrors `node_of` for
+    /// the resolvable cases).
+    fn raw_node(&mut self, r: RawNode) -> u32 {
+        match r {
+            RawNode::Var(f, i) => self.node(NodeKey::Var(f, i)),
+            RawNode::Param(f, i) => self.node(NodeKey::Param(f, i)),
+            RawNode::Global(g) => {
+                let c = self.base_cell(ObjBase::Global(g));
+                self.node(NodeKey::Lit(c))
+            }
+        }
+    }
+
+    /// Installs one generated constraint. Node/cell interning order — and
+    /// with it every downstream statistic — matches the old sequential
+    /// generator exactly.
+    fn apply(&mut self, c: &RawConstraint) {
+        match c {
+            RawConstraint::StackObj { f, i } => {
+                let c = self.base_cell(ObjBase::Stack(*f, *i));
+                let n = self.node(NodeKey::Var(*f, *i));
+                self.add_pts(n, c);
+            }
+            RawConstraint::HeapObj { f, i } => {
+                let c = self.base_cell(ObjBase::Heap(*f, *i));
+                let n = self.node(NodeKey::Var(*f, *i));
+                self.add_pts(n, c);
+            }
+            RawConstraint::Load { p, dst } => {
+                let p = self.raw_node(*p);
+                let dst = self.raw_node(*dst);
+                self.load_out[p as usize].push(dst);
+                self.stats.constraints += 1;
+            }
+            RawConstraint::Store { p, src } => {
+                let p = self.raw_node(*p);
+                let s = self.raw_node(*src);
+                self.store_in[p as usize].push(s);
+                self.stats.constraints += 1;
+            }
+            RawConstraint::Touch { n } => {
+                self.raw_node(*n);
+            }
+            RawConstraint::LoadStore { p, dst, src } => {
+                let p = self.raw_node(*p);
+                let dst = self.raw_node(*dst);
+                self.load_out[p as usize].push(dst);
+                self.stats.constraints += 1;
+                if let Some(src) = src {
+                    let s = self.raw_node(*src);
+                    self.store_in[p as usize].push(s);
+                    self.stats.constraints += 1;
                 }
             }
-            for b in func.block_ids() {
-                if let Terminator::Ret(Some(v)) = &func.block(b).term {
-                    if let Some(s) = self.node_of(fid, *v) {
-                        let r = self.node(NodeKey::Ret(fid));
-                        self.add_copy(s, r);
-                        self.stats.constraints += 1;
-                    }
+            RawConstraint::Gep { base, dst, path } => {
+                let b = self.raw_node(*base);
+                let dst = self.raw_node(*dst);
+                self.gep_out[b as usize].push((dst, path.clone()));
+                self.stats.constraints += 1;
+            }
+            RawConstraint::Copy { src, dst } => {
+                let s = self.raw_node(*src);
+                let dst = self.raw_node(*dst);
+                self.add_copy(s, dst);
+                self.stats.constraints += 1;
+            }
+            RawConstraint::Bin { dst, ops } => {
+                let dst = self.raw_node(*dst);
+                for op in ops {
+                    let s = self.raw_node(*op);
+                    self.add_copy(s, dst);
+                    self.stats.constraints += 1;
                 }
+            }
+            RawConstraint::Call { binds, target, dst } => {
+                for (src, j) in binds {
+                    let s = self.raw_node(*src);
+                    let p = self.node(NodeKey::Param(*target, *j));
+                    self.add_copy(s, p);
+                    self.stats.constraints += 1;
+                }
+                let r = self.node(NodeKey::Ret(*target));
+                let dst = self.raw_node(*dst);
+                self.add_copy(r, dst);
+                self.stats.constraints += 1;
+            }
+            RawConstraint::SpawnBind { src, target } => {
+                let s = self.raw_node(*src);
+                let p = self.node(NodeKey::Param(*target, 0));
+                self.add_copy(s, p);
+                self.stats.constraints += 1;
+            }
+            RawConstraint::RetBind { src, f } => {
+                let s = self.raw_node(*src);
+                let r = self.node(NodeKey::Ret(*f));
+                self.add_copy(s, r);
+                self.stats.constraints += 1;
+            }
+        }
+    }
+
+    /// Walks every function's instructions — in parallel across `jobs`
+    /// workers — and installs the resulting constraints sequentially in
+    /// `FuncId` order, so the constraint system is identical for any job
+    /// count.
+    fn generate(&mut self, m: &Module, jobs: usize) {
+        let fids: Vec<FuncId> = m.func_ids().collect();
+        let pool = atomig_par::WorkerPool::new(jobs);
+        let batches = pool.map(&fids, |_, &fid| gen_func(fid, m.func(fid)));
+        for batch in &batches {
+            for c in batch {
+                self.apply(c);
             }
         }
     }
@@ -526,11 +678,18 @@ pub struct PointsTo {
 }
 
 impl PointsTo {
-    /// Generates and solves the constraint system for `m`.
+    /// Generates and solves the constraint system for `m` on one thread.
     pub fn analyze(m: &Module) -> PointsTo {
+        PointsTo::analyze_with_jobs(m, 1)
+    }
+
+    /// Like [`PointsTo::analyze`], but generates constraints with up to
+    /// `jobs` workers. The solved system — including every statistic —
+    /// is identical for any job count; only wall time differs.
+    pub fn analyze_with_jobs(m: &Module, jobs: usize) -> PointsTo {
         let t0 = Instant::now();
         let mut s = Solver::new();
-        s.generate(m);
+        s.generate(m, jobs);
         s.solve();
 
         // Resolve every memory access to its address cells.
@@ -1000,6 +1159,46 @@ mod tests {
         .unwrap();
         let pt = PointsTo::analyze(&m);
         assert!(pt.stats.cells < 100, "cell universe stays bounded");
+    }
+
+    /// The deterministic-merge contract: parallel constraint generation
+    /// produces the same solved system — including every statistic — as
+    /// the sequential path.
+    #[test]
+    fn parallel_generation_matches_sequential_exactly() {
+        let m = atomig_frontc::compile(
+            r#"
+            struct Node { long state; long key; };
+            long use_node(struct Node *n) { return n->state; }
+            void deleter(long addr) {
+              struct Node *n = (struct Node*)addr;
+              n->key = 0;
+            }
+            int main() {
+              struct Node *n = (struct Node*)malloc(2);
+              n->key = 7;
+              n->state = 1;
+              long s = use_node(n);
+              long t = spawn(deleter, (long)n);
+              join(t);
+              return (int)s;
+            }
+            "#,
+            "t",
+        )
+        .unwrap();
+        let seq = PointsTo::analyze(&m);
+        for jobs in [2, 4, 8] {
+            let par = PointsTo::analyze_with_jobs(&m, jobs);
+            assert_eq!(par.stats.nodes, seq.stats.nodes, "jobs={jobs}");
+            assert_eq!(par.stats.cells, seq.stats.cells, "jobs={jobs}");
+            assert_eq!(par.stats.constraints, seq.stats.constraints, "jobs={jobs}");
+            assert_eq!(par.stats.iterations, seq.stats.iterations, "jobs={jobs}");
+            assert_eq!(par.stats.passes, seq.stats.passes, "jobs={jobs}");
+            assert_eq!(par.access_cells, seq.access_cells, "jobs={jobs}");
+            assert_eq!(par.cells, seq.cells, "jobs={jobs}");
+            assert_eq!(par.shareable, seq.shareable, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -39,13 +39,29 @@ fn main() {
     ];
 
     let mut rec = BenchRecorder::new("table2");
+    // Every (benchmark, stage) compile+check is independent: fan the 20
+    // units out over ATOMIG_JOBS workers and merge in unit order, so the
+    // table and record are identical to the sequential run.
+    let jobs = atomig_par::jobs_from_env("ATOMIG_JOBS");
+    let pool = atomig_par::WorkerPool::new(jobs);
+    let units: Vec<(&str, &str, atomig_core::Stage)> = benchmarks
+        .iter()
+        .flat_map(|(name, src, _)| {
+            STAGES
+                .iter()
+                .map(move |&stage| (*name, src.as_str(), stage))
+        })
+        .collect();
+    let verdicts = pool.map(&units, |_, &(name, src, stage)| {
+        let (module, _) = compile_stage(src, name, stage);
+        check_arm(&module)
+    });
+
     let mut rows = Vec::new();
     let mut records = Vec::new();
-    for (name, src, paper) in &benchmarks {
+    for ((name, _, paper), chunk) in benchmarks.iter().zip(verdicts.chunks(STAGES.len())) {
         let mut row = vec![name.to_string()];
-        for stage in STAGES {
-            let (module, _) = compile_stage(src, name, stage);
-            let verdict = check_arm(&module);
+        for (stage, verdict) in STAGES.iter().zip(chunk) {
             assert!(!verdict.truncated, "{name} at {stage:?}: {verdict}");
             row.push(glyph(verdict.violation.is_none()).to_string());
             records.push(Value::obj(vec![
@@ -73,6 +89,7 @@ fn main() {
             &rows,
         )
     );
+    rec.put("jobs", jobs.into());
     rec.put("checks", Value::Arr(records));
     let path = rec.write().expect("write bench record");
     println!("wrote {path}");

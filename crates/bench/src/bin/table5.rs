@@ -7,6 +7,10 @@
 //! AtoMig's implicit-barrier output lands **below 1.0** there; CLHT has
 //! no WMM-correct version, so its baseline is the (incorrect) plain
 //! recompile.
+//!
+//! Every row is an independent compile+run-cost triple, so the rows are
+//! computed on `ATOMIG_JOBS` workers and merged in row order — the table
+//! is identical to the sequential run.
 
 use atomig_bench::{factor, render_table, BenchRecorder};
 use atomig_core::json::Value;
@@ -15,109 +19,155 @@ use atomig_workloads::{
     apps, ck, clht, compile_atomig, compile_baseline, compile_naive, lf_hash, run_cost,
 };
 
+/// One benchmark row: the baseline source (and how to build it), the TSO
+/// source both ports start from, and the paper's reference factors.
+struct RowSpec {
+    label: &'static str,
+    key: &'static str,
+    baseline_src: String,
+    /// ck rows: the baseline is an expert Arm port compiled verbatim
+    /// (inlined, no transformation) rather than `compile_baseline`.
+    expert_baseline: bool,
+    tso_src: String,
+    paper: String,
+}
+
+impl RowSpec {
+    fn plain(
+        label: &'static str,
+        key: &'static str,
+        src: String,
+        p_naive: f64,
+        p_atomig: f64,
+    ) -> RowSpec {
+        RowSpec {
+            label,
+            key,
+            baseline_src: src.clone(),
+            expert_baseline: false,
+            tso_src: src,
+            paper: format!("{p_naive:.2} / {p_atomig:.2}"),
+        }
+    }
+
+    fn expert(
+        name: &'static str,
+        expert_src: String,
+        tso_src: String,
+        p_naive: f64,
+        p_atomig: f64,
+    ) -> RowSpec {
+        RowSpec {
+            label: name,
+            key: name,
+            baseline_src: expert_src,
+            expert_baseline: true,
+            tso_src,
+            paper: format!("{p_naive:.2} / {p_atomig:.2}"),
+        }
+    }
+}
+
+fn row_of(spec: &RowSpec) -> Vec<String> {
+    let base_module = if spec.expert_baseline {
+        let mut m =
+            atomig_frontc::compile(&spec.baseline_src, spec.key).expect("expert source compiles");
+        atomig_analysis::inline_module(&mut m, &Default::default());
+        m
+    } else {
+        compile_baseline(&spec.baseline_src, spec.key)
+    };
+    let (_, base) = run_cost(&base_module, spec.key);
+    let (_, naive) = run_cost(&compile_naive(&spec.tso_src, spec.key).0, spec.key);
+    let (_, atomig) = run_cost(&compile_atomig(&spec.tso_src, spec.key).0, spec.key);
+    vec![
+        spec.label.to_string(),
+        factor(naive as f64 / base as f64),
+        factor(atomig as f64 / base as f64),
+        spec.paper.clone(),
+    ]
+}
+
 fn main() {
     let cm = CostModel::ARMV8;
     let _ = cm;
-    let mut rows: Vec<Vec<String>> = Vec::new();
 
-    // --- Large applications: baseline = plain build.
-    let paper_apps = [
-        ("MariaDB", "mariadb", 1.27, 1.01),
-        ("PostgreSQL", "postgresql", 1.35, 1.04),
-        ("LevelDB", "leveldb", 1.66, 1.01),
-        ("Memcached", "memcached", 1.01, 1.00),
-        ("SQLite", "sqlite", 2.49, 1.03),
-    ];
-    for (label, key, p_naive, p_atomig) in paper_apps {
-        let src = apps::app_perf(key, 60);
-        let (_, base) = run_cost(&compile_baseline(&src, key), key);
-        let (_, naive) = run_cost(&compile_naive(&src, key).0, key);
-        let (_, atomig) = run_cost(&compile_atomig(&src, key).0, key);
-        rows.push(vec![
-            label.to_string(),
-            factor(naive as f64 / base as f64),
-            factor(atomig as f64 / base as f64),
-            format!("{p_naive:.2} / {p_atomig:.2}"),
-        ]);
-    }
-
-    // --- ck benchmarks: baseline = expert Arm port (explicit fences).
-    let ck_rows: Vec<(&str, String, String, f64, f64)> = vec![
-        (
+    let specs: Vec<RowSpec> = vec![
+        // --- Large applications: baseline = plain build.
+        RowSpec::plain(
+            "MariaDB",
+            "mariadb",
+            apps::app_perf("mariadb", 60),
+            1.27,
+            1.01,
+        ),
+        RowSpec::plain(
+            "PostgreSQL",
+            "postgresql",
+            apps::app_perf("postgresql", 60),
+            1.35,
+            1.04,
+        ),
+        RowSpec::plain(
+            "LevelDB",
+            "leveldb",
+            apps::app_perf("leveldb", 60),
+            1.66,
+            1.01,
+        ),
+        RowSpec::plain(
+            "Memcached",
+            "memcached",
+            apps::app_perf("memcached", 60),
+            1.01,
+            1.00,
+        ),
+        RowSpec::plain("SQLite", "sqlite", apps::app_perf("sqlite", 60), 2.49, 1.03),
+        // --- ck benchmarks: baseline = expert Arm port (explicit fences).
+        RowSpec::expert(
             "ck_ring",
             ck::ring_expert_perf(300),
             ck::ring_perf(300),
             4.43,
             0.85,
         ),
-        (
+        RowSpec::expert(
             "ck_sequence",
             ck::sequence_expert_perf(200),
             ck::sequence_perf(200),
             5.35,
             0.91,
         ),
-        (
+        RowSpec::expert(
             "ck_spinlock_cas",
             ck::spinlock_cas_expert_perf(2, 200),
             ck::spinlock_cas_perf(2, 200),
             3.75,
             0.63,
         ),
-        (
+        RowSpec::expert(
             "ck_spinlock_mcs",
             ck::spinlock_mcs_expert_perf(2, 100),
             ck::spinlock_mcs_perf(2, 100),
             5.29,
             0.64,
         ),
+        // --- lf-hash: baseline = plain build.
+        RowSpec::plain(
+            "lf-hash",
+            "lf-hash",
+            lf_hash::lf_hash_perf(8, 60),
+            3.05,
+            1.01,
+        ),
+        // --- CLHT: baseline = unported recompile (no WMM corrections).
+        RowSpec::plain("clht_lb", "clht_lb", clht::clht_lb_perf(2, 150), 1.89, 1.10),
+        RowSpec::plain("clht_lf", "clht_lf", clht::clht_lf_perf(2, 150), 2.01, 1.40),
     ];
-    for (name, expert_src, tso_src, p_naive, p_atomig) in ck_rows {
-        let expert = atomig_frontc::compile(&expert_src, name).map(|mut m| {
-            atomig_analysis::inline_module(&mut m, &Default::default());
-            m
-        });
-        let expert = expert.expect("expert source compiles");
-        let (_, base) = run_cost(&expert, name);
-        let (_, naive) = run_cost(&compile_naive(&tso_src, name).0, name);
-        let (_, atomig) = run_cost(&compile_atomig(&tso_src, name).0, name);
-        rows.push(vec![
-            name.to_string(),
-            factor(naive as f64 / base as f64),
-            factor(atomig as f64 / base as f64),
-            format!("{p_naive:.2} / {p_atomig:.2}"),
-        ]);
-    }
 
-    // --- lf-hash: baseline = plain build.
-    {
-        let src = lf_hash::lf_hash_perf(8, 60);
-        let (_, base) = run_cost(&compile_baseline(&src, "lf-hash"), "lf-hash");
-        let (_, naive) = run_cost(&compile_naive(&src, "lf-hash").0, "lf-hash");
-        let (_, atomig) = run_cost(&compile_atomig(&src, "lf-hash").0, "lf-hash");
-        rows.push(vec![
-            "lf-hash".to_string(),
-            factor(naive as f64 / base as f64),
-            factor(atomig as f64 / base as f64),
-            "3.05 / 1.01".to_string(),
-        ]);
-    }
-
-    // --- CLHT: baseline = unported recompile (no WMM corrections).
-    for (name, src, p_naive, p_atomig) in [
-        ("clht_lb", clht::clht_lb_perf(2, 150), 1.89, 1.10),
-        ("clht_lf", clht::clht_lf_perf(2, 150), 2.01, 1.40),
-    ] {
-        let (_, base) = run_cost(&compile_baseline(&src, name), name);
-        let (_, naive) = run_cost(&compile_naive(&src, name).0, name);
-        let (_, atomig) = run_cost(&compile_atomig(&src, name).0, name);
-        rows.push(vec![
-            name.to_string(),
-            factor(naive as f64 / base as f64),
-            factor(atomig as f64 / base as f64),
-            format!("{p_naive:.2} / {p_atomig:.2}"),
-        ]);
-    }
+    let jobs = atomig_par::jobs_from_env("ATOMIG_JOBS");
+    let pool = atomig_par::WorkerPool::new(jobs);
+    let rows: Vec<Vec<String>> = pool.map(&specs, |_, spec| row_of(spec));
 
     print!(
         "{}",
@@ -142,6 +192,7 @@ fn main() {
             ])
         })
         .collect();
+    rec.put("jobs", jobs.into());
     rec.put("slowdowns", Value::Arr(records));
     let path = rec.write().expect("write bench record");
     println!("wrote {path}");

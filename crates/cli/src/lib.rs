@@ -44,8 +44,12 @@ pub enum Command {
         trace: bool,
         /// Write the JSONL metrics stream to this path.
         emit_metrics: Option<String>,
+        /// Worker threads; `None` means host parallelism. Output is
+        /// byte-identical for any value.
+        jobs: Option<usize>,
     },
-    /// `atomig check <file> [--model m] [--ported] [--emit-metrics out]`
+    /// `atomig check <file> [--model m] [--ported] [--emit-metrics out]
+    /// [--jobs n]`
     Check {
         /// Input path.
         file: String,
@@ -55,6 +59,9 @@ pub enum Command {
         ported: bool,
         /// Write the JSONL metrics stream to this path.
         emit_metrics: Option<String>,
+        /// Worker threads; `None` means host parallelism. The verdict is
+        /// identical for any value.
+        jobs: Option<usize>,
     },
     /// `atomig run <file> [--ported]`
     Run {
@@ -76,6 +83,9 @@ pub enum Command {
         deny: Vec<LintRule>,
         /// Write the JSONL metrics stream to this path.
         emit_metrics: Option<String>,
+        /// Worker threads; `None` means host parallelism. Output is
+        /// byte-identical for any value.
+        jobs: Option<usize>,
     },
     /// `atomig explain <file[:line]> [--alias a]`
     Explain {
@@ -103,13 +113,13 @@ USAGE:
     atomig port  <file.c> [--stage original|expl|spin|full] [--report]
                           [--alias type-based|points-to]
                           [--naive | --lasagne] [--trace]
-                          [--emit-metrics <out.jsonl>]
+                          [--emit-metrics <out.jsonl>] [--jobs <N>]
     atomig check <file.c> [--model sc|tso|wmm|arm] [--ported]
-                          [--emit-metrics <out.jsonl>]
+                          [--emit-metrics <out.jsonl>] [--jobs <N>]
     atomig run   <file.c> [--ported]
     atomig lint  <file.c> [--ported] [--alias type-based|points-to]
                           [--deny race-candidate|fence-placement]
-                          [--emit-metrics <out.jsonl>]
+                          [--emit-metrics <out.jsonl>] [--jobs <N>]
     atomig explain <file.c[:LINE]> [--alias type-based|points-to]
     atomig metrics <run.jsonl>
 
@@ -128,7 +138,14 @@ and checker counters, decisions, and findings (see DESIGN.md for the
 schema). `explain` replays the decision ledger for one source line —
 every rewrite is traced back through sticky-buddy alias classes to the
 annotation or loop pattern that seeded it, with pre-port race-candidate
-context. `metrics` validates a JSONL stream and prints its tally.";
+context. `metrics` validates a JSONL stream and prints its tally.
+
+Parallelism: `--jobs N` sets the worker-thread count for the analysis
+and exploration phases (default: host parallelism). Reports, metrics,
+ledgers, and verdicts are byte-identical for every N — workers only
+compute, and results are merged in a fixed order. Set ATOMIG_DETERMINISTIC=1
+to replace the phase-timing clock with a fixed-step counter so the output
+is also byte-identical across *runs* (for diffing in CI).";
 
 /// Parses a command line (without the program name).
 ///
@@ -152,6 +169,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut lasagne = false;
             let mut trace = false;
             let mut emit_metrics = None;
+            let mut jobs = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--report" => report_only = true,
@@ -170,6 +188,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--emit-metrics needs a path")?;
                         emit_metrics = Some(v.to_string());
                     }
+                    "--jobs" => {
+                        let v = it.next().ok_or("--jobs needs a value")?;
+                        jobs = Some(parse_jobs(v)?);
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -186,6 +208,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 lasagne,
                 trace,
                 emit_metrics,
+                jobs,
             })
         }
         "check" => {
@@ -193,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut model = ModelKind::Arm;
             let mut ported = false;
             let mut emit_metrics = None;
+            let mut jobs = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--ported" => ported = true,
@@ -204,6 +228,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--emit-metrics needs a path")?;
                         emit_metrics = Some(v.to_string());
                     }
+                    "--jobs" => {
+                        let v = it.next().ok_or("--jobs needs a value")?;
+                        jobs = Some(parse_jobs(v)?);
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -213,6 +241,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 model,
                 ported,
                 emit_metrics,
+                jobs,
             })
         }
         "run" => {
@@ -236,6 +265,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut alias = AliasMode::TypeBased;
             let mut deny = Vec::new();
             let mut emit_metrics = None;
+            let mut jobs = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--ported" => ported = true,
@@ -259,6 +289,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--emit-metrics needs a path")?;
                         emit_metrics = Some(v.to_string());
                     }
+                    "--jobs" => {
+                        let v = it.next().ok_or("--jobs needs a value")?;
+                        jobs = Some(parse_jobs(v)?);
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -269,6 +303,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 alias,
                 deny,
                 emit_metrics,
+                jobs,
             })
         }
         "explain" => {
@@ -286,13 +321,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             let target = target.ok_or("explain: missing input location (file.c[:LINE])")?;
             let (file, line) = match target.rsplit_once(':') {
-                Some((f, l)) if !f.is_empty() => {
+                Some(("", _)) => {
+                    return Err(format!(
+                        "explain: `{target}` has no file before the `:` \
+                         (expected file.c[:LINE])"
+                    ));
+                }
+                Some((_, "")) => {
+                    return Err(format!(
+                        "explain: `{target}` has a trailing `:` but no line number \
+                         (expected file.c[:LINE])"
+                    ));
+                }
+                Some((f, l)) => {
                     let n = l
                         .parse::<u32>()
                         .map_err(|_| format!("explain: `{l}` is not a line number"))?;
+                    if n == 0 {
+                        return Err("explain: line numbers are 1-based; 0 never matches".into());
+                    }
                     (f.to_string(), Some(n))
                 }
-                _ => (target, None),
+                None => (target, None),
             };
             Ok(Command::Explain { file, line, alias })
         }
@@ -335,6 +385,14 @@ fn parse_alias(s: &str) -> Result<AliasMode, String> {
         .ok_or_else(|| format!("unknown alias mode `{s}` (accepted: type-based, points-to)"))
 }
 
+fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(0) => Err("--jobs must be at least 1".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--jobs: `{s}` is not a thread count")),
+    }
+}
+
 fn parse_model(s: &str) -> Result<ModelKind, String> {
     Ok(match s {
         "sc" => ModelKind::Sc,
@@ -355,6 +413,23 @@ fn config_for(stage: Stage) -> AtomigConfig {
         Stage::Explicit => AtomigConfig::explicit_only(),
         Stage::Spin => AtomigConfig::spin(),
         Stage::Full => AtomigConfig::full(),
+    }
+}
+
+/// With `ATOMIG_DETERMINISTIC` set (to anything but `""`/`0`), a
+/// fixed-step counter clock: every read advances one millisecond. Phase
+/// timings then depend only on the number of clock reads, making metrics
+/// streams byte-comparable across runs (and job counts) in CI.
+fn deterministic_clock() -> Option<trace::Clock> {
+    match std::env::var("ATOMIG_DETERMINISTIC") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            let ticks = std::sync::atomic::AtomicU64::new(0);
+            Some(trace::Clock::from_fn(move || {
+                let t = ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::time::Duration::from_millis(t)
+            }))
+        }
+        _ => None,
     }
 }
 
@@ -384,6 +459,7 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             lasagne,
             trace,
             emit_metrics,
+            jobs,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
@@ -409,6 +485,12 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             } else {
                 let mut cfg = config_for(*stage);
                 cfg.alias_mode = *alias;
+                if let Some(j) = jobs {
+                    cfg.jobs = *j;
+                }
+                if let Some(c) = deterministic_clock() {
+                    cfg.clock = c;
+                }
                 let report = Pipeline::new(cfg).port_module(&mut module);
                 let s = format!("{report}");
                 pipeline_report = Some(report);
@@ -454,19 +536,30 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             model,
             ported,
             emit_metrics,
+            jobs,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
+            let clock = deterministic_clock().unwrap_or_else(trace::Clock::system);
             let mut port_report = None;
             if *ported {
-                port_report = Some(Pipeline::new(AtomigConfig::full()).port_module(&mut module));
+                let mut cfg = AtomigConfig::full();
+                if let Some(j) = jobs {
+                    cfg.jobs = *j;
+                }
+                cfg.clock = clock.clone();
+                port_report = Some(Pipeline::new(cfg).port_module(&mut module));
             }
             if module.func_by_name("main").is_none() {
                 return Err("check: the program has no `main`".into());
             }
-            let t0 = std::time::Instant::now();
-            let verdict = Checker::new(*model).check(&module, "main");
-            let explore = t0.elapsed();
+            let mut checker = Checker::new(*model);
+            if let Some(j) = jobs {
+                checker.config.jobs = *j;
+            }
+            let t0 = clock.now();
+            let verdict = checker.check(&module, "main");
+            let explore = clock.now() - t0;
             let mut note = String::new();
             if let Some(path) = emit_metrics {
                 let cm = CheckerMetrics {
@@ -518,11 +611,18 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             alias,
             deny,
             emit_metrics,
+            jobs,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
             let mut cfg = AtomigConfig::full();
             cfg.alias_mode = *alias;
+            if let Some(j) = jobs {
+                cfg.jobs = *j;
+            }
+            if let Some(c) = deterministic_clock() {
+                cfg.clock = c;
+            }
             if *ported {
                 Pipeline::new(cfg.clone()).port_module(&mut module);
             }
@@ -698,6 +798,7 @@ mod tests {
                 lasagne: false,
                 trace: false,
                 emit_metrics: None,
+                jobs: None,
             }
         );
         assert_eq!(
@@ -714,6 +815,7 @@ mod tests {
                 lasagne: false,
                 trace: true,
                 emit_metrics: Some("m.jsonl".into()),
+                jobs: None,
             }
         );
         assert_eq!(
@@ -723,6 +825,7 @@ mod tests {
                 model: ModelKind::Tso,
                 ported: true,
                 emit_metrics: None,
+                jobs: None,
             }
         );
         assert!(parse_args(&args("port")).is_err());
@@ -806,6 +909,7 @@ mod tests {
                 alias: AliasMode::TypeBased,
                 deny: vec![LintRule::RaceCandidate],
                 emit_metrics: None,
+                jobs: None,
             }
         );
         assert_eq!(
@@ -816,6 +920,7 @@ mod tests {
                 alias: AliasMode::PointsTo,
                 deny: vec![LintRule::RaceCandidate],
                 emit_metrics: None,
+                jobs: None,
             }
         );
         assert!(parse_args(&args("lint")).is_err());
@@ -890,6 +995,58 @@ mod tests {
         assert!(parse_args(&args("explain a.c --bogus")).is_err());
         assert!(parse_args(&args("metrics")).is_err());
         assert!(parse_args(&args("port a.c --emit-metrics")).is_err());
+    }
+
+    #[test]
+    fn explain_rejects_malformed_targets_by_name() {
+        // Trailing colon: previously split into ("a.c", "") and surfaced
+        // as a confusing empty-string parse error.
+        let err = parse_args(&args("explain a.c:")).unwrap_err();
+        assert!(err.contains("trailing `:`"), "{err}");
+        assert!(err.contains("a.c:"), "{err}");
+        // No file before the colon: previously treated `:41` as a file
+        // named ":41" and silently explained nothing.
+        let err = parse_args(&args("explain :41")).unwrap_err();
+        assert!(err.contains("no file before"), "{err}");
+        // Line 0 can never match a 1-based source span.
+        let err = parse_args(&args("explain a.c:0")).unwrap_err();
+        assert!(err.contains("1-based"), "{err}");
+        // Non-numeric suffix keeps the existing named error.
+        let err = parse_args(&args("explain a.c:forty")).unwrap_err();
+        assert!(err.contains("forty"), "{err}");
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_bad_counts() {
+        assert_eq!(
+            parse_args(&args("port a.c --jobs 4")).unwrap(),
+            Command::Port {
+                file: "a.c".into(),
+                stage: Stage::Full,
+                alias: AliasMode::TypeBased,
+                report_only: false,
+                naive: false,
+                lasagne: false,
+                trace: false,
+                emit_metrics: None,
+                jobs: Some(4),
+            }
+        );
+        match parse_args(&args("check a.c --jobs 2")).unwrap() {
+            Command::Check { jobs, .. } => assert_eq!(jobs, Some(2)),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("lint a.c --jobs 1")).unwrap() {
+            Command::Lint { jobs, .. } => assert_eq!(jobs, Some(1)),
+            other => panic!("{other:?}"),
+        }
+        let err = parse_args(&args("port a.c --jobs 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_args(&args("port a.c --jobs many")).unwrap_err();
+        assert!(err.contains("many"), "{err}");
+        assert!(parse_args(&args("port a.c --jobs")).is_err());
+        // `run` has no parallel phase, so it takes no --jobs.
+        assert!(parse_args(&args("run a.c --jobs 2")).is_err());
     }
 
     #[test]

@@ -86,6 +86,11 @@ pub struct AtomigConfig {
     /// via [`crate::trace::Clock::from_fn`] to keep reports
     /// byte-comparable.
     pub clock: crate::trace::Clock,
+    /// Worker threads for the parallel phases (per-function detection and
+    /// points-to constraint generation). Defaults to the host's available
+    /// parallelism; output is byte-identical for any value (the
+    /// deterministic-merge contract in `atomig_par`).
+    pub jobs: usize,
 }
 
 impl AtomigConfig {
@@ -101,6 +106,7 @@ impl AtomigConfig {
             compiler_barrier_hints: false,
             volatile_blacklist: Vec::new(),
             clock: crate::trace::Clock::system(),
+            jobs: atomig_par::available_parallelism(),
         }
     }
 
@@ -132,6 +138,7 @@ impl AtomigConfig {
             compiler_barrier_hints: false,
             volatile_blacklist: Vec::new(),
             clock: crate::trace::Clock::system(),
+            jobs: atomig_par::available_parallelism(),
         }
     }
 }

@@ -40,12 +40,10 @@
 //! [`AliasMap::build_points_to`]: crate::AliasMap::build_points_to
 
 use crate::alias::AliasMap;
-use crate::annotations::{loc_of, scan_annotations};
+use crate::annotations::loc_of;
 use crate::config::{AliasMode, AtomigConfig, Stage};
-use crate::optimistic::detect_optimistic;
-use crate::spinloop::detect_spinloops;
 use crate::trace::{PipelineMetrics, SolverMetrics};
-use atomig_analysis::{Cfg, InfluenceAnalysis, PointsTo, ThreadReach};
+use atomig_analysis::{Cfg, PointsTo, ThreadReach};
 use atomig_mir::{FuncId, Function, InstId, InstKind, MemLoc, Module, Ordering};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -225,7 +223,11 @@ struct DryRun {
     sc: HashMap<FuncId, HashMap<InstId, MarkOrigin>>,
     fence_before: HashMap<FuncId, HashSet<InstId>>,
     fence_after: HashMap<FuncId, HashSet<InstId>>,
-    seed_locs: HashSet<MemLoc>,
+    /// Seed keys in insertion order (deduplicated via `seed_seen`) so the
+    /// type-based buddy expansion iterates deterministically — a
+    /// `HashSet` here made mark origins depend on hash order.
+    seed_locs: Vec<MemLoc>,
+    seed_seen: HashSet<MemLoc>,
     optimistic_locs: HashSet<MemLoc>,
 }
 
@@ -233,6 +235,12 @@ impl DryRun {
     fn mark_sc(&mut self, f: FuncId, i: InstId, origin: MarkOrigin) {
         // First origin wins: pattern provenance reads better than "buddy".
         self.sc.entry(f).or_default().entry(i).or_insert(origin);
+    }
+
+    fn add_seed(&mut self, l: &MemLoc) {
+        if self.seed_seen.insert(l.clone()) {
+            self.seed_locs.push(l.clone());
+        }
     }
 }
 
@@ -250,46 +258,39 @@ fn dry_run(m: &Module, config: &AtomigConfig, am_pt: &AliasMap) -> DryRun {
     let seedable = |l: &MemLoc| l.is_buddy_key() || (pointee && matches!(l, MemLoc::Pointee(_)));
     let mut optimistic_accesses: Vec<(FuncId, InstId)> = Vec::new();
 
-    for fid in m.func_ids() {
-        let func = m.func(fid);
-        let ann = scan_annotations(func, &config.volatile_blacklist);
-        for mk in ann.atomics.iter().chain(ann.volatiles.iter()) {
+    // Per-function detection on the worker pool, merged in `FuncId`
+    // order — same deterministic-merge contract as the pipeline itself.
+    let fids: Vec<FuncId> = m.func_ids().collect();
+    let pool = atomig_par::WorkerPool::new(config.jobs);
+    let pipe = crate::Pipeline::new(config.clone());
+    let dets = pool.map(&fids, |_, &fid| pipe.detect_func(m, fid));
+
+    for (&fid, det) in fids.iter().zip(&dets) {
+        for (mk, _) in &det.ann_marks {
             d.mark_sc(fid, mk.inst, MarkOrigin::Annotation);
             if seedable(&mk.loc) {
-                d.seed_locs.insert(mk.loc.clone());
+                d.add_seed(&mk.loc);
             }
         }
-        if config.compiler_barrier_hints {
-            for mk in crate::hints::barrier_adjacent_accesses(func) {
-                d.mark_sc(fid, mk.inst, MarkOrigin::BarrierHint);
-                if seedable(&mk.loc) {
-                    d.seed_locs.insert(mk.loc.clone());
-                }
+        for mk in &det.hint_marks {
+            d.mark_sc(fid, mk.inst, MarkOrigin::BarrierHint);
+            if seedable(&mk.loc) {
+                d.add_seed(&mk.loc);
             }
         }
-        if config.stage < Stage::Spin {
-            continue;
-        }
-        let inf = InfluenceAnalysis::new(func);
-        let spins = detect_spinloops(func, &inf);
-        for s in &spins {
+        for s in &det.spins {
             for &c in &s.controls {
                 d.mark_sc(fid, c, MarkOrigin::SpinControl);
             }
             for l in &s.control_locs {
                 if seedable(l) {
-                    d.seed_locs.insert(l.clone());
+                    d.add_seed(l);
                 }
             }
         }
-        if config.stage < Stage::Full {
-            continue;
-        }
-        let opts = detect_optimistic(func, &inf, &spins);
-        let index = func.inst_index();
-        for o in &opts {
-            for &c in &o.optimistic_controls {
-                if matches!(index.get(&c), Some(InstKind::Load { .. })) {
+        for o in &det.opts {
+            for &(c, is_load) in &o.controls {
+                if is_load {
                     d.fence_before.entry(fid).or_default().insert(c);
                 }
                 optimistic_accesses.push((fid, c));
@@ -297,7 +298,7 @@ fn dry_run(m: &Module, config: &AtomigConfig, am_pt: &AliasMap) -> DryRun {
             for l in &o.control_locs {
                 d.optimistic_locs.insert(l.clone());
                 if seedable(l) {
-                    d.seed_locs.insert(l.clone());
+                    d.add_seed(l);
                 }
             }
         }
@@ -307,8 +308,8 @@ fn dry_run(m: &Module, config: &AtomigConfig, am_pt: &AliasMap) -> DryRun {
         AliasMode::TypeBased => {
             if config.alias_exploration {
                 let am = AliasMap::build(m, pointee);
-                for loc in &d.seed_locs.clone() {
-                    for &(f, i) in am.buddies(loc) {
+                for loc in d.seed_locs.clone() {
+                    for &(f, i) in am.buddies(&loc) {
                         d.mark_sc(f, i, MarkOrigin::Buddy);
                     }
                 }
@@ -332,10 +333,14 @@ fn dry_run(m: &Module, config: &AtomigConfig, am_pt: &AliasMap) -> DryRun {
         }
         AliasMode::PointsTo => {
             if config.alias_exploration {
+                // Sorted so expansion order — and with it first-origin
+                // mark provenance — is deterministic, mirroring the
+                // pipeline's seed ordering.
                 let mut seeds: Vec<(FuncId, InstId)> =
                     d.sc.iter()
                         .flat_map(|(&f, is)| is.keys().map(move |&i| (f, i)))
                         .collect();
+                seeds.sort_unstable_by_key(|&(f, i)| (f.0, i.0));
                 seeds.extend(optimistic_accesses.iter().copied());
                 for (f, i) in seeds {
                     for &(bf, bi) in am_pt.buddies_of_access(f, i) {
@@ -499,7 +504,7 @@ pub fn lint_module(m: &Module, config: &AtomigConfig) -> LintReport {
     };
 
     let s0 = clock.now();
-    let pt = PointsTo::analyze(m);
+    let pt = PointsTo::analyze_with_jobs(m, config.jobs);
     let solve = clock.now() - s0;
     let mut solver = SolverMetrics::from(pt.stats);
     // Re-measure with the injected clock so metrics stay byte-comparable

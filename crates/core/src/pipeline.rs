@@ -12,10 +12,12 @@ use crate::transform::{self, MarkSet};
 use atomig_analysis::{inline_module, InfluenceAnalysis, PointsTo};
 use atomig_mir::{FuncId, InstId, InstKind, MemLoc, Module};
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
 
 /// Appends one ledger decision, resolving the access's span and alias key
-/// from the module-wide index built after inlining.
+/// from the module-wide index built after inlining. An instruction absent
+/// from the index (e.g. inserted by a transform after the index was
+/// built) is resolved from the current module state instead of silently
+/// degrading to `(0, MemLoc::Unknown)`.
 fn record(
     ledger: &mut DecisionLedger,
     m: &Module,
@@ -25,7 +27,23 @@ fn record(
     action: TraceAction,
     cause: TraceCause,
 ) {
-    let (span, loc) = info.get(&(f, i)).cloned().unwrap_or((0, MemLoc::Unknown));
+    let (span, loc) = match info.get(&(f, i)) {
+        Some((span, loc)) => (*span, loc.clone()),
+        None => {
+            let func = m.func(f);
+            let index = func.inst_index();
+            let resolved = func
+                .insts()
+                .find(|(_, inst)| inst.id == i)
+                .map(|(_, inst)| (inst.span, loc_of(func, &index, &inst.kind)));
+            debug_assert!(
+                resolved.is_some(),
+                "ledger decision on unknown instruction {i:?} in @{}",
+                func.name
+            );
+            resolved.unwrap_or((0, MemLoc::Unknown))
+        }
+    };
     ledger.record(Decision {
         func: f,
         func_name: m.func(f).name.clone(),
@@ -73,6 +91,40 @@ pub struct Pipeline {
     config: AtomigConfig,
 }
 
+/// Per-function detection results. Computed in parallel on the worker
+/// pool (plain owned data, no marks or ledger writes) and merged on the
+/// coordinating thread in `FuncId` order.
+#[derive(Debug, Default)]
+pub(crate) struct FuncDetect {
+    /// §3.2 annotation marks, paired with whether they came from a
+    /// volatile access.
+    pub(crate) ann_marks: Vec<(crate::annotations::Mark, bool)>,
+    /// §6 compiler-barrier hint marks (opt-in).
+    pub(crate) hint_marks: Vec<crate::annotations::Mark>,
+    /// §3.3 spinloops, with header spans pre-resolved.
+    pub(crate) spins: Vec<SpinDetect>,
+    /// Optimistic (seqlock-style) loops, with per-control load-ness
+    /// pre-resolved so the merge needs no instruction index.
+    pub(crate) opts: Vec<OptDetect>,
+}
+
+#[derive(Debug)]
+pub(crate) struct SpinDetect {
+    pub(crate) controls: Vec<InstId>,
+    pub(crate) control_locs: Vec<MemLoc>,
+    pub(crate) header_span: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct OptDetect {
+    pub(crate) spin_index: usize,
+    pub(crate) header_span: u32,
+    /// (control, is-load): loads get an explicit fence before them, the
+    /// rest only seed alias exploration.
+    pub(crate) controls: Vec<(InstId, bool)>,
+    pub(crate) control_locs: Vec<MemLoc>,
+}
+
 impl Pipeline {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: AtomigConfig) -> Pipeline {
@@ -82,6 +134,66 @@ impl Pipeline {
     /// The active configuration.
     pub fn config(&self) -> &AtomigConfig {
         &self.config
+    }
+
+    /// Runs the staged detection passes on one function. Pure with
+    /// respect to the module — safe to run for many functions in
+    /// parallel.
+    pub(crate) fn detect_func(&self, m: &Module, fid: FuncId) -> FuncDetect {
+        let func = m.func(fid);
+        let ann = scan_annotations(func, &self.config.volatile_blacklist);
+        let mut det = FuncDetect {
+            ann_marks: ann
+                .atomics
+                .into_iter()
+                .map(|mk| (mk, false))
+                .chain(ann.volatiles.into_iter().map(|mk| (mk, true)))
+                .collect(),
+            ..FuncDetect::default()
+        };
+        if self.config.compiler_barrier_hints {
+            det.hint_marks = crate::hints::barrier_adjacent_accesses(func);
+        }
+        if self.config.stage < Stage::Spin {
+            return det;
+        }
+        let inf = InfluenceAnalysis::new(func);
+        let spins = detect_spinloops(func, &inf);
+        let header_span_of = |s: &crate::spinloop::SpinLoopInfo| {
+            func.block(s.natural.header)
+                .insts
+                .iter()
+                .map(|i| i.span)
+                .find(|&sp| sp != 0)
+                .unwrap_or(0)
+        };
+        det.spins = spins
+            .iter()
+            .map(|s| SpinDetect {
+                controls: s.controls.clone(),
+                control_locs: s.control_locs.clone(),
+                header_span: header_span_of(s),
+            })
+            .collect();
+        if self.config.stage < Stage::Full {
+            return det;
+        }
+        let opts = detect_optimistic(func, &inf, &spins);
+        let index = func.inst_index();
+        det.opts = opts
+            .iter()
+            .map(|o| OptDetect {
+                spin_index: o.spin_index,
+                header_span: det.spins[o.spin_index].header_span,
+                controls: o
+                    .optimistic_controls
+                    .iter()
+                    .map(|&c| (c, matches!(index.get(&c), Some(InstKind::Load { .. }))))
+                    .collect(),
+                control_locs: o.control_locs.clone(),
+            })
+            .collect();
+        det
     }
 
     /// Ports `m` in place and reports what happened.
@@ -145,12 +257,21 @@ impl Pipeline {
         let seedable =
             |l: &MemLoc| l.is_buddy_key() || (pointee && matches!(l, MemLoc::Pointee(_)));
 
-        let mut t_ann = Duration::ZERO;
-        let mut t_spin = Duration::ZERO;
-        let mut t_opt = Duration::ZERO;
+        // Passes 1-2 and optimistic detection run per function on the
+        // worker pool; results come back in `FuncId` order and everything
+        // order-sensitive — marks, ledger records, seed bookkeeping — is
+        // applied in the sequential merge below, so the ledger is
+        // byte-identical for any job count. The injected clock is only
+        // read here on the coordinating thread: per-pass timings would
+        // require clock reads inside workers, which a deterministic test
+        // clock cannot serve reproducibly, so detection is timed as one
+        // phase.
+        let d0 = clock.now();
+        let fids: Vec<FuncId> = m.func_ids().collect();
+        let pool = atomig_par::WorkerPool::new(self.config.jobs);
+        let dets = pool.map(&fids, |_, &fid| self.detect_func(m, fid));
 
-        for fid in m.func_ids() {
-            let func = m.func(fid);
+        for (&fid, det) in fids.iter().zip(&dets) {
             let mut add_seed =
                 |loc: &MemLoc, seeder: Option<(FuncId, InstId)>, seed_locs: &mut Vec<MemLoc>| {
                     if seedable(loc) {
@@ -164,15 +285,8 @@ impl Pipeline {
                 };
 
             // Pass 1: explicit annotations (§3.2).
-            let p0 = clock.now();
-            let ann = scan_annotations(func, &self.config.volatile_blacklist);
-            report.explicit_annotations += ann.atomics.len() + ann.volatiles.len();
-            for (mk, volatile) in ann
-                .atomics
-                .iter()
-                .map(|mk| (mk, false))
-                .chain(ann.volatiles.iter().map(|mk| (mk, true)))
-            {
+            report.explicit_annotations += det.ann_marks.len();
+            for (mk, volatile) in &det.ann_marks {
                 marks.mark_sc(fid, mk.inst);
                 record(
                     &mut ledger,
@@ -181,49 +295,32 @@ impl Pipeline {
                     fid,
                     mk.inst,
                     TraceAction::UpgradeSc,
-                    TraceCause::Annotation { volatile },
+                    TraceCause::Annotation {
+                        volatile: *volatile,
+                    },
                 );
                 add_seed(&mk.loc, Some((fid, mk.inst)), &mut seed_locs);
             }
 
             // §6 extension (opt-in): compiler barriers as entry points.
-            if self.config.compiler_barrier_hints {
-                for mk in crate::hints::barrier_adjacent_accesses(func) {
-                    report.barrier_hints += 1;
-                    marks.mark_sc(fid, mk.inst);
-                    record(
-                        &mut ledger,
-                        m,
-                        &access_info,
-                        fid,
-                        mk.inst,
-                        TraceAction::UpgradeSc,
-                        TraceCause::BarrierHint,
-                    );
-                    add_seed(&mk.loc, Some((fid, mk.inst)), &mut seed_locs);
-                }
-            }
-            let p1 = clock.now();
-            t_ann += p1 - p0;
-
-            if self.config.stage < Stage::Spin {
-                continue;
+            for mk in &det.hint_marks {
+                report.barrier_hints += 1;
+                marks.mark_sc(fid, mk.inst);
+                record(
+                    &mut ledger,
+                    m,
+                    &access_info,
+                    fid,
+                    mk.inst,
+                    TraceAction::UpgradeSc,
+                    TraceCause::BarrierHint,
+                );
+                add_seed(&mk.loc, Some((fid, mk.inst)), &mut seed_locs);
             }
 
             // Pass 2: implicit synchronization patterns (§3.3).
-            let inf = InfluenceAnalysis::new(func);
-            let spins = detect_spinloops(func, &inf);
-            report.spinloops += spins.len();
-            let header_span_of = |s: &crate::spinloop::SpinLoopInfo| {
-                func.block(s.natural.header)
-                    .insts
-                    .iter()
-                    .map(|i| i.span)
-                    .find(|&sp| sp != 0)
-                    .unwrap_or(0)
-            };
-            for (si, s) in spins.iter().enumerate() {
-                let header_span = header_span_of(s);
+            report.spinloops += det.spins.len();
+            for (si, s) in det.spins.iter().enumerate() {
                 for &c in &s.controls {
                     marks.mark_sc(fid, c);
                     record(
@@ -235,7 +332,7 @@ impl Pipeline {
                         TraceAction::UpgradeSc,
                         TraceCause::SpinControl {
                             loop_index: si,
-                            header_span,
+                            header_span: s.header_span,
                         },
                     );
                 }
@@ -244,22 +341,13 @@ impl Pipeline {
                     add_seed(l, c0, &mut seed_locs);
                 }
             }
-            let p2 = clock.now();
-            t_spin += p2 - p1;
 
-            if self.config.stage < Stage::Full {
-                continue;
-            }
-
-            let opts = detect_optimistic(func, &inf, &spins);
-            report.optiloops += opts.len();
-            let index = func.inst_index();
-            for o in &opts {
-                let header_span = header_span_of(&spins[o.spin_index]);
-                for &c in &o.optimistic_controls {
+            report.optiloops += det.opts.len();
+            for o in &det.opts {
+                for &(c, is_load) in &o.controls {
                     // Explicit barrier before each optimistic-control load
                     // within the optimistic loop (Figure 6, reader side).
-                    if matches!(index.get(&c), Some(InstKind::Load { .. })) {
+                    if is_load {
                         marks.mark_fence_before(fid, c);
                         record(
                             &mut ledger,
@@ -270,7 +358,7 @@ impl Pipeline {
                             TraceAction::FenceBefore,
                             TraceCause::OptimisticControl {
                                 loop_index: o.spin_index,
-                                header_span,
+                                header_span: o.header_span,
                             },
                         );
                     } else {
@@ -283,13 +371,13 @@ impl Pipeline {
                             TraceAction::Seed,
                             TraceCause::OptimisticControl {
                                 loop_index: o.spin_index,
-                                header_span,
+                                header_span: o.header_span,
                             },
                         );
                     }
                     optimistic_accesses.push((fid, c));
                 }
-                let c0 = o.optimistic_controls.first().map(|&c| (fid, c));
+                let c0 = o.controls.first().map(|&(c, _)| (fid, c));
                 for l in &o.control_locs {
                     optimistic_locs.insert(l.clone());
                     if let Some(s) = c0 {
@@ -298,23 +386,15 @@ impl Pipeline {
                     add_seed(l, c0, &mut seed_locs);
                 }
             }
-            t_opt += clock.now() - p2;
         }
         report.metrics.record(
-            "annotations",
-            t_ann,
-            report.explicit_annotations + report.barrier_hints,
+            "detect",
+            clock.now() - d0,
+            report.explicit_annotations
+                + report.barrier_hints
+                + report.spinloops
+                + report.optiloops,
         );
-        if self.config.stage >= Stage::Spin {
-            report
-                .metrics
-                .record("spin-detect", t_spin, report.spinloops);
-        }
-        if self.config.stage >= Stage::Full {
-            report
-                .metrics
-                .record("optimistic-detect", t_opt, report.optiloops);
-        }
 
         // Pass 3: alias exploration — once atomic, always atomic (§3.4) —
         // followed by explicit barriers after every store that may hit an
@@ -382,7 +462,7 @@ impl Pipeline {
             AliasMode::PointsTo => {
                 if self.config.alias_exploration || !optimistic_accesses.is_empty() {
                     let s0 = clock.now();
-                    let pt = PointsTo::analyze(m);
+                    let pt = PointsTo::analyze_with_jobs(m, self.config.jobs);
                     let solve = clock.now() - s0;
                     let mut solver = SolverMetrics::from(pt.stats);
                     // Re-measure with the injected clock so metrics stay
@@ -791,6 +871,95 @@ mod tests {
         let r2 = p.port_module(&mut m);
         assert_eq!(r2.implicit_barriers_added, 0);
         assert_eq!(m, snapshot);
+    }
+
+    /// Regression: a decision on an instruction missing from the access
+    /// index — a transform-inserted fence here — must resolve its span
+    /// from the current module rather than silently degrading to
+    /// `(0, MemLoc::Unknown)`.
+    #[test]
+    fn record_resolves_transform_inserted_instructions_from_the_module() {
+        let mut m = parse_module(
+            r#"
+            global @flag: i32 = 0
+            global @msg: i32 = 0
+            fn @reader() : i32 {
+            entry:
+              %i = alloca i32
+              %data = alloca i32
+              br loop
+            loop:
+              %f1 = load i32, @flag
+              store i32 %f1, %i
+              %m = load i32, @msg
+              store i32 %m, %data
+              %iv = load i32, %i
+              %odd = rem %iv, 2
+              %c1 = cmp ne %odd, 0
+              condbr %c1, loop, done
+            done:
+              %d = load i32, %data
+              ret %d
+            }
+            fn @writer() : void {
+            bb0:
+              %f = load i32, @flag
+              %inc = add %f, 1
+              store i32 %inc, @flag
+              ret
+            }
+            "#,
+        )
+        .unwrap();
+        let r = Pipeline::new(AtomigConfig::full()).port_module(&mut m);
+        assert!(r.explicit_barriers_added > 0, "{r}");
+        let (fid, fence_id, fence_span) = m
+            .func_ids()
+            .find_map(|fid| {
+                m.func(fid)
+                    .insts()
+                    .find(|(_, i)| matches!(i.kind, InstKind::Fence { .. }))
+                    .map(|(_, i)| (fid, i.id, i.span))
+            })
+            .expect("porting inserted a fence");
+        // The post-inline access index knows nothing about the fence.
+        let mut ledger = DecisionLedger::default();
+        record(
+            &mut ledger,
+            &m,
+            &HashMap::new(),
+            fid,
+            fence_id,
+            TraceAction::FenceAfter,
+            TraceCause::OptimisticStore { seed: None },
+        );
+        assert_eq!(ledger.decisions()[0].span, fence_span);
+
+        // Same for a plain store that simply was never indexed: span and
+        // alias key both come back from the module.
+        let wid = m.func_by_name("writer").unwrap();
+        let writer = m.func(wid);
+        let (store_id, store_span) = writer
+            .insts()
+            .find(|(_, i)| matches!(i.kind, InstKind::Store { .. }))
+            .map(|(_, i)| (i.id, i.span))
+            .unwrap();
+        record(
+            &mut ledger,
+            &m,
+            &HashMap::new(),
+            wid,
+            store_id,
+            TraceAction::UpgradeSc,
+            TraceCause::BarrierHint,
+        );
+        let d = &ledger.decisions()[1];
+        assert_eq!(d.span, store_span);
+        assert!(
+            matches!(d.loc, MemLoc::Global(..)),
+            "store location resolved from the module, got {:?}",
+            d.loc
+        );
     }
 
     #[test]

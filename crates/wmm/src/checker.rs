@@ -49,6 +49,11 @@ pub struct CheckerConfig {
     pub max_states: usize,
     /// Abort a single path after this many visible steps.
     pub max_depth: u64,
+    /// Worker threads sharding the frontier expansion. The verdict —
+    /// violation, state/execution/revisit counts, peak tracked — is
+    /// identical for any value: workers only *expand* states, and the
+    /// results are merged into the visited set in frontier order.
+    pub jobs: usize,
 }
 
 impl Default for CheckerConfig {
@@ -57,6 +62,7 @@ impl Default for CheckerConfig {
             model: ModelKind::Wmm,
             max_states: 2_000_000,
             max_depth: 20_000,
+            jobs: atomig_par::available_parallelism(),
         }
     }
 }
@@ -190,7 +196,14 @@ impl Checker {
         }
     }
 
-    fn explore<'m, M: MemModel>(&self, mut initial: Machine<'m, M>) -> Verdict {
+    /// Round-based frontier exploration. Each round, the frontier is
+    /// expanded by the worker pool (an embarrassingly parallel,
+    /// shared-state-free step) and the per-state [`Expanded`] results are
+    /// merged into the visited set *in frontier order*, so the verdict is
+    /// byte-identical for any `jobs` value. Terminal events (failure,
+    /// deadlock) end the exploration at the lowest frontier index that
+    /// produced one.
+    fn explore<'m, M: MemModel + Send + Sync>(&self, mut initial: Machine<'m, M>) -> Verdict {
         let mut visited: HashSet<u128> = HashSet::with_capacity(1 << 16);
         let mut verdict = Verdict {
             violation: None,
@@ -205,103 +218,134 @@ impl Checker {
             return verdict;
         }
         verdict.states += 1;
-        // The stack holds fresh (deduplicated, counted) states only.
-        let mut stack: Vec<Machine<'m, M>> = vec![initial];
-        verdict.peak_tracked = 1;
+        let pool = atomig_par::WorkerPool::new(self.config.jobs);
+        // The frontier holds fresh (deduplicated, counted) states only.
+        let mut frontier: Vec<Machine<'m, M>> = vec![initial];
 
-        'outer: while let Some(mut machine) = stack.pop() {
-            // Fast path: follow deterministic chains in place, cloning
-            // nothing, until the state has real branching.
-            loop {
-                if machine.all_done() {
-                    verdict.executions += 1;
-                    continue 'outer;
-                }
-                if machine.steps >= self.config.max_depth
-                    || verdict.states >= self.config.max_states
-                {
-                    verdict.truncated = true;
-                    continue 'outer;
-                }
-
-                // Enumerate scheduling options.
-                let mut options: Vec<SchedChoice> = Vec::new();
-                for tid in machine.runnable() {
-                    options.push(SchedChoice::Step(tid));
-                }
-                for tid in 0..machine.threads.len() {
-                    if machine.internal_steps(tid) > 0 {
-                        options.push(SchedChoice::Internal(tid));
+        while !frontier.is_empty() {
+            verdict.peak_tracked = verdict.peak_tracked.max(frontier.len());
+            // Spawning workers only pays off once the round is wide;
+            // narrow rounds expand inline. The merge below is identical
+            // either way, so this is purely a latency knob.
+            let round_pool = if frontier.len() >= 2 * pool.jobs() {
+                pool
+            } else {
+                atomig_par::WorkerPool::new(1)
+            };
+            let expansions = round_pool.map(&frontier, |_, machine| self.expand(machine));
+            let mut next_frontier: Vec<Machine<'m, M>> = Vec::new();
+            for exp in expansions {
+                match exp {
+                    Expanded::Done => verdict.executions += 1,
+                    Expanded::Truncated => verdict.truncated = true,
+                    Expanded::Deadlock => {
+                        verdict.violation = Some(Failure::Deadlock);
+                        return verdict;
                     }
-                }
-                if options.is_empty() {
-                    verdict.violation = Some(Failure::Deadlock);
-                    break 'outer;
-                }
-
-                let single_option = options.len() == 1;
-                let mut chain: Option<Machine<'m, M>> = None;
-                for &opt in &options {
-                    // Enumerate the inner (read/nondet) choice tree of
-                    // this scheduling option via preset replay.
-                    let mut presets: Vec<Vec<usize>> = vec![Vec::new()];
-                    let mut fork_count = 0usize;
-                    while let Some(preset) = presets.pop() {
-                        let mut next = machine.clone();
-                        let mut ch = ReplayChooser::new(preset.clone());
-                        let outcome = match opt {
-                            SchedChoice::Step(tid) => next.step_visible(tid, &mut ch),
-                            SchedChoice::Internal(tid) => {
-                                next.internal_step(tid);
-                                StepOutcome::Progress
+                    Expanded::Failed(failure) => {
+                        verdict.violation = failure;
+                        return verdict;
+                    }
+                    Expanded::Successors(succ) => {
+                        for (fingerprint, machine) in succ {
+                            if verdict.states >= self.config.max_states {
+                                verdict.truncated = true;
+                                continue;
                             }
-                        };
-                        // Fork alternatives for decision points defaulted
-                        // to 0.
-                        for i in preset.len()..ch.log.len() {
-                            let (_, n) = ch.log[i];
-                            for alt in 1..n {
-                                let mut p: Vec<usize> =
-                                    ch.log[..i].iter().map(|(t, _)| *t).collect();
-                                p.push(alt);
-                                presets.push(p);
-                                fork_count += 1;
-                            }
-                        }
-                        match outcome {
-                            StepOutcome::Failed => {
-                                verdict.violation = next.failure.clone();
-                                return verdict;
-                            }
-                            StepOutcome::Pruned => {}
-                            _ => {
-                                next.mem.gc();
-                                if visited.insert(next.fingerprint()) {
-                                    verdict.states += 1;
-                                    if single_option && fork_count == 0 && chain.is_none() {
-                                        // Deterministic chain: continue in
-                                        // this loop without stack traffic.
-                                        chain = Some(next);
-                                    } else {
-                                        stack.push(next);
-                                        verdict.peak_tracked =
-                                            verdict.peak_tracked.max(stack.len() + 1);
-                                    }
-                                } else {
-                                    verdict.revisits += 1;
-                                }
+                            if visited.insert(fingerprint) {
+                                verdict.states += 1;
+                                next_frontier.push(machine);
+                            } else {
+                                verdict.revisits += 1;
                             }
                         }
                     }
-                }
-                match chain {
-                    Some(next) => machine = next,
-                    None => continue 'outer,
                 }
             }
+            frontier = next_frontier;
         }
         verdict
     }
+
+    /// Expands one frontier state: enumerates every scheduling option and
+    /// every inner (read/nondet) choice via preset replay. Pure with
+    /// respect to the exploration — touches no shared state, so it can run
+    /// on any worker thread.
+    fn expand<'m, M: MemModel>(&self, machine: &Machine<'m, M>) -> Expanded<'m, M> {
+        if machine.all_done() {
+            return Expanded::Done;
+        }
+        if machine.steps >= self.config.max_depth {
+            return Expanded::Truncated;
+        }
+
+        // Enumerate scheduling options.
+        let mut options: Vec<SchedChoice> = Vec::new();
+        for tid in machine.runnable() {
+            options.push(SchedChoice::Step(tid));
+        }
+        for tid in 0..machine.threads.len() {
+            if machine.internal_steps(tid) > 0 {
+                options.push(SchedChoice::Internal(tid));
+            }
+        }
+        if options.is_empty() {
+            return Expanded::Deadlock;
+        }
+
+        let mut successors: Vec<(u128, Machine<'m, M>)> = Vec::new();
+        for &opt in &options {
+            // Enumerate the inner choice tree of this scheduling option
+            // via preset replay.
+            let mut presets: Vec<Vec<usize>> = vec![Vec::new()];
+            while let Some(preset) = presets.pop() {
+                let mut next = machine.clone();
+                let mut ch = ReplayChooser::new(preset.clone());
+                let outcome = match opt {
+                    SchedChoice::Step(tid) => next.step_visible(tid, &mut ch),
+                    SchedChoice::Internal(tid) => {
+                        next.internal_step(tid);
+                        StepOutcome::Progress
+                    }
+                };
+                // Fork alternatives for decision points defaulted to 0.
+                for i in preset.len()..ch.log.len() {
+                    let (_, n) = ch.log[i];
+                    for alt in 1..n {
+                        let mut p: Vec<usize> = ch.log[..i].iter().map(|(t, _)| *t).collect();
+                        p.push(alt);
+                        presets.push(p);
+                    }
+                }
+                match outcome {
+                    StepOutcome::Failed => {
+                        return Expanded::Failed(next.failure.clone());
+                    }
+                    StepOutcome::Pruned => {}
+                    _ => {
+                        next.mem.gc();
+                        successors.push((next.fingerprint(), next));
+                    }
+                }
+            }
+        }
+        Expanded::Successors(successors)
+    }
+}
+
+/// What expanding one frontier state produced. Workers compute these;
+/// the coordinating thread merges them in frontier order.
+enum Expanded<'m, M: MemModel> {
+    /// All threads finished: one completed execution.
+    Done,
+    /// The path hit the depth limit.
+    Truncated,
+    /// Nothing runnable and no internal step available.
+    Deadlock,
+    /// A step failed (assert/trap); carries the failure.
+    Failed(Option<Failure>),
+    /// Fingerprinted candidate successors, in enumeration order.
+    Successors(Vec<(u128, Machine<'m, M>)>),
 }
 
 #[cfg(test)]
@@ -545,6 +589,25 @@ mod tests {
         let v = Checker::new(ModelKind::Wmm).check(&m, "main");
         assert!(!v.truncated);
         assert!(v.states < 100_000);
+    }
+
+    /// The deterministic-merge contract: the whole verdict — violation,
+    /// states, executions, revisits, peak tracked — is identical for any
+    /// worker count, on both passing and violating programs.
+    #[test]
+    fn verdict_is_identical_for_any_job_count() {
+        for (src, model) in [(MP_SC, ModelKind::Wmm), (MP_PLAIN, ModelKind::Wmm)] {
+            let m = parse_module(src).unwrap();
+            let mut baseline = Checker::new(model);
+            baseline.config.jobs = 1;
+            let want = baseline.check(&m, "main").to_string();
+            for jobs in [2, 4, 8] {
+                let mut checker = Checker::new(model);
+                checker.config.jobs = jobs;
+                let got = checker.check(&m, "main").to_string();
+                assert_eq!(got, want, "jobs={jobs} diverged");
+            }
+        }
     }
 
     #[test]

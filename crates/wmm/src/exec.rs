@@ -12,7 +12,7 @@ use crate::models::{Chooser, MemModel};
 use atomig_mir::{BlockId, Builtin, FuncId, InstId, Module, Ordering, Value};
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Why a machine stopped making progress.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -162,8 +162,8 @@ pub enum StepOutcome {
 #[derive(Clone)]
 pub struct Machine<'m, M: MemModel> {
     module: &'m Module,
-    layout: Rc<Layout>,
-    prog: Rc<CompiledProgram>,
+    layout: Arc<Layout>,
+    prog: Arc<CompiledProgram>,
     /// The memory model state.
     pub mem: M,
     /// All threads ever created (tid = index).
@@ -195,8 +195,8 @@ pub struct Machine<'m, M: MemModel> {
 impl<'m, M: MemModel> Machine<'m, M> {
     /// Creates a machine about to run `entry(args...)` on thread 0.
     pub fn new(module: &'m Module, entry: FuncId, args: Vec<i64>, mut mem: M) -> Self {
-        let layout = Rc::new(Layout::new(module));
-        let prog = Rc::new(CompiledProgram::compile(module, &layout));
+        let layout = Arc::new(Layout::new(module));
+        let prog = Arc::new(CompiledProgram::compile(module, &layout));
         for (addr, val) in layout.initial_values(module) {
             mem.init(addr, val);
         }
@@ -403,7 +403,7 @@ impl<'m, M: MemModel> Machine<'m, M> {
     }
 
     fn step_inst(&mut self, tid: usize, ch: &mut dyn Chooser) -> InstOutcome {
-        let prog = Rc::clone(&self.prog);
+        let prog = Arc::clone(&self.prog);
         let (func, block, ip) = {
             let frame = self.threads[tid].frames.last().expect("live frame");
             (frame.func, frame.block, frame.ip as usize)
