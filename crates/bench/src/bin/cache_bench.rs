@@ -1,0 +1,122 @@
+//! Measures the incremental-analysis cache: cold vs warm porting time
+//! and hit rate over the synthetic application profiles.
+//!
+//! Each profile is generated once, then ported twice against the same
+//! content-addressed store — the first run populates it (all misses),
+//! the second re-ports the identical module (all hits, zero detection
+//! work). The record lands in `BENCH_cache.json` with per-profile
+//! cold/warm nanos, the speedup factor, and the warm hit rate; the warm
+//! report is asserted byte-identical to the cold one, so the speedup is
+//! never bought with divergent output.
+
+use atomig_bench::{factor, render_table, BenchRecorder};
+use atomig_core::json::Value;
+use atomig_core::{AtomigConfig, Pipeline};
+use atomig_workloads::{profiles, synth};
+use std::time::Instant;
+
+const SCALE: u32 = 100;
+
+fn main() {
+    let mut rec = BenchRecorder::new("cache");
+    let jobs = match atomig_par::jobs_from_env("ATOMIG_JOBS") {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    rec.put("jobs", Value::from(jobs));
+    let cache_root =
+        std::env::temp_dir().join(format!("atomig-cache-bench-{}", std::process::id()));
+    let cache_root = cache_root.to_string_lossy().into_owned();
+
+    let mut rows = Vec::new();
+    let (mut total_cold, mut total_warm) = (0u128, 0u128);
+    for profile in profiles::all() {
+        let app = synth::generate_for(&profile, SCALE);
+        let dir = format!("{cache_root}/{}", profile.name);
+        let store = std::sync::Arc::new(
+            atomig_cache::CacheStore::open(Some(&dir)).expect("cache dir opens"),
+        );
+        let mut cfg = AtomigConfig::full();
+        cfg.inline = false;
+        cfg.jobs = jobs;
+        cfg.cache = Some(store);
+
+        let mut port = |tag: &str| {
+            let mut m = atomig_frontc::compile(&app.source, profile.name)
+                .expect("generated source compiles");
+            // Fresh fixed-step clock per run: the report's embedded phase
+            // timings become a function of clock *reads*, so the cold and
+            // warm reports can be compared byte-for-byte below while real
+            // wall time is still measured with `Instant` outside.
+            let mut cfg = cfg.clone();
+            let ticks = std::sync::atomic::AtomicU64::new(0);
+            cfg.clock = atomig_core::trace::Clock::from_fn(move || {
+                let t = ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::time::Duration::from_millis(t)
+            });
+            let t0 = Instant::now();
+            let report = Pipeline::new(cfg).port_module(&mut m);
+            let nanos = t0.elapsed().as_nanos();
+            rec.put(&format!("{}_{tag}_nanos", profile.name), Value::from(nanos));
+            (nanos, report)
+        };
+        let (cold_nanos, cold) = port("cold");
+        let (warm_nanos, warm) = port("warm");
+        let c = warm.metrics.cache.expect("cache metrics present");
+        assert_eq!(
+            format!("{cold}"),
+            format!("{warm}"),
+            "warm report diverged for {}",
+            profile.name
+        );
+        assert_eq!(c.misses, 0, "warm run re-analyzed {} functions", c.misses);
+        let hit_rate = c.hits as f64 / (c.hits + c.misses).max(1) as f64;
+        let speedup = cold_nanos as f64 / (warm_nanos as f64).max(1.0);
+        rec.put(&format!("{}_hits", profile.name), Value::from(c.hits));
+        rec.put(&format!("{}_misses", profile.name), Value::from(c.misses));
+        rec.put(&format!("{}_speedup", profile.name), Value::from(speedup));
+        total_cold += cold_nanos;
+        total_warm += warm_nanos;
+        rows.push(vec![
+            profile.name.to_string(),
+            app.sloc.to_string(),
+            format!("{:.2?}", std::time::Duration::from_nanos(cold_nanos as u64)),
+            format!("{:.2?}", std::time::Duration::from_nanos(warm_nanos as u64)),
+            factor(speedup),
+            format!(
+                "{}/{} ({:.0}%)",
+                c.hits,
+                c.hits + c.misses,
+                hit_rate * 100.0
+            ),
+        ]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&cache_root).ok();
+
+    rec.put("total_cold_nanos", Value::from(total_cold));
+    rec.put("total_warm_nanos", Value::from(total_warm));
+    rec.put(
+        "total_speedup",
+        Value::from(total_cold as f64 / (total_warm as f64).max(1.0)),
+    );
+    print!(
+        "{}",
+        render_table(
+            &format!("Incremental cache: cold vs warm port (synthetic, 1:{SCALE} scale)"),
+            &["Application", "SLOC", "Cold", "Warm", "Speedup", "Hit rate"],
+            &rows,
+        )
+    );
+    println!(
+        "overall: {:.2?} cold vs {:.2?} warm ({}x)",
+        std::time::Duration::from_nanos(total_cold as u64),
+        std::time::Duration::from_nanos(total_warm as u64),
+        factor(total_cold as f64 / (total_warm as f64).max(1.0)),
+    );
+    let path = rec.write().expect("write bench record");
+    println!("wrote {path}");
+}

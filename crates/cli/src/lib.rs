@@ -14,11 +14,12 @@
 //! ```
 
 use atomig_core::trace::{
-    self, checker_event, decision_event, finding_event, meta_event, phase_event, solver_event,
-    summary_event, to_jsonl,
+    self, cache_event, checker_event, decision_event, finding_event, meta_event, phase_event,
+    solver_event, summary_event, to_jsonl,
 };
 use atomig_core::{
-    lint_module, AliasMode, AtomigConfig, CheckerMetrics, LintRule, PhaseStat, Pipeline, Stage,
+    lint_module, AliasMode, AtomigConfig, CacheMetrics, CheckerMetrics, LintRule, PhaseStat,
+    Pipeline, Stage,
 };
 use atomig_wmm::{Checker, CostModel, ModelKind};
 
@@ -47,6 +48,9 @@ pub enum Command {
         /// Worker threads; `None` means host parallelism. Output is
         /// byte-identical for any value.
         jobs: Option<usize>,
+        /// Artifact-cache directory; `None` disables caching for this
+        /// single-file run (`atomig batch` caches by default instead).
+        cache_dir: Option<String>,
     },
     /// `atomig check <file> [--model m] [--ported] [--emit-metrics out]
     /// [--jobs n]`
@@ -86,6 +90,30 @@ pub enum Command {
         /// Worker threads; `None` means host parallelism. Output is
         /// byte-identical for any value.
         jobs: Option<usize>,
+        /// Artifact-cache directory; `None` disables caching for this
+        /// single-file run (`atomig batch` caches by default instead).
+        cache_dir: Option<String>,
+    },
+    /// `atomig batch <manifest|dir> [--stage s] [--alias a] [--jobs n]
+    /// [--emit-metrics out] [--cache-dir d | --no-cache]`
+    Batch {
+        /// A directory scanned recursively for `.c` files, a single `.c`
+        /// file, or a manifest listing one path per line (`#` comments).
+        path: String,
+        /// Detection stage applied to every module.
+        stage: Stage,
+        /// Alias backend applied to every module.
+        alias: AliasMode,
+        /// Worker threads fanning out across modules; `None` resolves
+        /// `ATOMIG_JOBS`, then host parallelism.
+        jobs: Option<usize>,
+        /// Write the combined JSONL metrics stream to this path.
+        emit_metrics: Option<String>,
+        /// Artifact-cache directory override (default:
+        /// `$ATOMIG_CACHE_DIR`, then `.atomig-cache/`).
+        cache_dir: Option<String>,
+        /// Run without the artifact cache.
+        no_cache: bool,
     },
     /// `atomig explain <file[:line]> [--alias a]`
     Explain {
@@ -114,12 +142,19 @@ USAGE:
                           [--alias type-based|points-to]
                           [--naive | --lasagne] [--trace]
                           [--emit-metrics <out.jsonl>] [--jobs <N>]
+                          [--cache-dir <dir>]
     atomig check <file.c> [--model sc|tso|wmm|arm] [--ported]
                           [--emit-metrics <out.jsonl>] [--jobs <N>]
     atomig run   <file.c> [--ported]
     atomig lint  <file.c> [--ported] [--alias type-based|points-to]
                           [--deny race-candidate|fence-placement]
                           [--emit-metrics <out.jsonl>] [--jobs <N>]
+                          [--cache-dir <dir>]
+    atomig batch <dir|manifest|file.c>
+                          [--stage original|expl|spin|full]
+                          [--alias type-based|points-to] [--jobs <N>]
+                          [--emit-metrics <out.jsonl>]
+                          [--cache-dir <dir> | --no-cache]
     atomig explain <file.c[:LINE]> [--alias type-based|points-to]
     atomig metrics <run.jsonl>
 
@@ -141,11 +176,22 @@ annotation or loop pattern that seeded it, with pre-port race-candidate
 context. `metrics` validates a JSONL stream and prints its tally.
 
 Parallelism: `--jobs N` sets the worker-thread count for the analysis
-and exploration phases (default: host parallelism). Reports, metrics,
-ledgers, and verdicts are byte-identical for every N — workers only
-compute, and results are merged in a fixed order. Set ATOMIG_DETERMINISTIC=1
-to replace the phase-timing clock with a fixed-step counter so the output
-is also byte-identical across *runs* (for diffing in CI).";
+and exploration phases (default: host parallelism; `batch` also reads
+ATOMIG_JOBS). Reports, metrics, ledgers, and verdicts are byte-identical
+for every N — workers only compute, and results are merged in a fixed
+order. Set ATOMIG_DETERMINISTIC=1 to replace the phase-timing clock with
+a fixed-step counter so the output is also byte-identical across *runs*
+(for diffing in CI).
+
+Incremental analysis: `batch` ports every `.c` file under a directory
+(or listed in a manifest, one path per line, `#` comments) and prints
+one combined report. Per-function detection artifacts are cached in a
+content-addressed store — `--cache-dir <dir>`, else $ATOMIG_CACHE_DIR,
+else `.atomig-cache/` — so a warm rerun re-analyzes only functions whose
+body or configuration changed; `--no-cache` disables the store. Warm
+output is byte-identical to cold: hit/miss/eviction counters surface
+only via `--trace`, the `cache` JSONL event, and `atomig metrics`.
+`port` and `lint` join the cache when given `--cache-dir` explicitly.";
 
 /// Parses a command line (without the program name).
 ///
@@ -170,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut trace = false;
             let mut emit_metrics = None;
             let mut jobs = None;
+            let mut cache_dir = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--report" => report_only = true,
@@ -192,6 +239,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--jobs needs a value")?;
                         jobs = Some(parse_jobs(v)?);
                     }
+                    "--cache-dir" => {
+                        let v = it.next().ok_or("--cache-dir needs a directory")?;
+                        cache_dir = Some(v.to_string());
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -209,6 +260,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 trace,
                 emit_metrics,
                 jobs,
+                cache_dir,
             })
         }
         "check" => {
@@ -266,6 +318,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut deny = Vec::new();
             let mut emit_metrics = None;
             let mut jobs = None;
+            let mut cache_dir = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--ported" => ported = true,
@@ -293,6 +346,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--jobs needs a value")?;
                         jobs = Some(parse_jobs(v)?);
                     }
+                    "--cache-dir" => {
+                        let v = it.next().ok_or("--cache-dir needs a directory")?;
+                        cache_dir = Some(v.to_string());
+                    }
                     f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
                     other => return Err(format!("unknown argument `{other}`")),
                 }
@@ -304,6 +361,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 deny,
                 emit_metrics,
                 jobs,
+                cache_dir,
+            })
+        }
+        "batch" => {
+            let mut path = None;
+            let mut stage = Stage::Full;
+            let mut alias = AliasMode::TypeBased;
+            let mut jobs = None;
+            let mut emit_metrics = None;
+            let mut cache_dir = None;
+            let mut no_cache = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--no-cache" => no_cache = true,
+                    "--stage" => {
+                        let v = it.next().ok_or("--stage needs a value")?;
+                        stage = parse_stage(v)?;
+                    }
+                    "--alias" => {
+                        let v = it.next().ok_or("--alias needs a value")?;
+                        alias = parse_alias(v)?;
+                    }
+                    "--jobs" => {
+                        let v = it.next().ok_or("--jobs needs a value")?;
+                        jobs = Some(parse_jobs(v)?);
+                    }
+                    "--emit-metrics" => {
+                        let v = it.next().ok_or("--emit-metrics needs a path")?;
+                        emit_metrics = Some(v.to_string());
+                    }
+                    "--cache-dir" => {
+                        let v = it.next().ok_or("--cache-dir needs a directory")?;
+                        cache_dir = Some(v.to_string());
+                    }
+                    f if !f.starts_with('-') && path.is_none() => path = Some(f.to_string()),
+                    other => return Err(format!("unknown argument `{other}`")),
+                }
+            }
+            if no_cache && cache_dir.is_some() {
+                return Err("--cache-dir and --no-cache are mutually exclusive".into());
+            }
+            Ok(Command::Batch {
+                path: path.ok_or("batch: missing input directory, manifest, or file")?,
+                stage,
+                alias,
+                jobs,
+                emit_metrics,
+                cache_dir,
+                no_cache,
             })
         }
         "explain" => {
@@ -442,6 +548,260 @@ fn write_metrics(path: &str, events: &[atomig_core::json::Value]) -> Result<Stri
     ))
 }
 
+fn stage_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Original => "original",
+        Stage::Explicit => "expl",
+        Stage::Spin => "spin",
+        Stage::Full => "full",
+    }
+}
+
+fn open_cache(dir: Option<&str>) -> Result<std::sync::Arc<atomig_cache::CacheStore>, String> {
+    Ok(std::sync::Arc::new(atomig_cache::CacheStore::open(dir)?))
+}
+
+/// The one-line trace rendering of cache counters. Deliberately absent
+/// from reports: warm output must stay byte-identical to cold.
+fn cache_line(c: &CacheMetrics) -> String {
+    format!(
+        "cache: {} hit(s), {} miss(es), {} evicted",
+        c.hits, c.misses, c.evictions
+    )
+}
+
+/// The module name of a source path: final component without `.c`.
+pub fn module_name(file: &str) -> &str {
+    file.rsplit('/')
+        .next()
+        .unwrap_or(file)
+        .trim_end_matches(".c")
+}
+
+/// Reads one source file for the single-file subcommands.
+///
+/// # Errors
+///
+/// A directory gets a named error pointing at `atomig batch` instead of
+/// the raw `Is a directory` I/O failure; other failures keep the OS text.
+pub fn read_source(file: &str) -> Result<String, String> {
+    let p = std::path::Path::new(file);
+    if p.is_dir() {
+        return Err(format!(
+            "`{file}` is a directory, not a source file \
+             (use `atomig batch {file}` to process every .c file under it)"
+        ));
+    }
+    std::fs::read_to_string(p).map_err(|e| format!("cannot read `{file}`: {e}"))
+}
+
+/// One module of a batch run: its name and loaded source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchInput {
+    /// Module name (file stem).
+    pub name: String,
+    /// Source text.
+    pub source: String,
+}
+
+fn collect_c_files(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory `{}`: {e}", dir.display()))?;
+    for entry in entries {
+        let p = entry
+            .map_err(|e| format!("cannot read directory `{}`: {e}", dir.display()))?
+            .path();
+        if p.is_dir() {
+            collect_c_files(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "c") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a `batch` argument into loaded inputs: a directory is
+/// scanned recursively for `.c` files (sorted by path, so the combined
+/// report order is stable), a `.c` path is a single input, and anything
+/// else is read as a manifest listing one path per line (relative to the
+/// manifest's directory; blank lines and `#` comments are skipped).
+///
+/// # Errors
+///
+/// Names the unreadable path; an empty result is reported by
+/// [`execute_batch`], not here.
+pub fn discover_batch_inputs(path: &str) -> Result<Vec<BatchInput>, String> {
+    let p = std::path::Path::new(path);
+    let mut files = Vec::new();
+    if p.is_dir() {
+        collect_c_files(p, &mut files)?;
+        files.sort();
+    } else if path.ends_with(".c") {
+        files.push(p.to_path_buf());
+    } else {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| format!("cannot read manifest `{path}`: {e}"))?;
+        let base = p.parent().unwrap_or_else(|| std::path::Path::new("."));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            files.push(base.join(line));
+        }
+    }
+    let mut inputs = Vec::with_capacity(files.len());
+    for f in files {
+        let fs = f.to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&f).map_err(|e| format!("cannot read `{fs}`: {e}"))?;
+        inputs.push(BatchInput {
+            name: module_name(&fs).to_string(),
+            source,
+        });
+    }
+    Ok(inputs)
+}
+
+/// Executes `atomig batch` over already-loaded inputs, returning the
+/// combined report (discovery is separate for testability).
+///
+/// Modules fan out across the worker pool; each worker runs a
+/// single-threaded pipeline with its own deterministic clock, so
+/// per-module output is independent of scheduling and the sequential
+/// merge below is order-fixed. Cache counters stay out of the report —
+/// they surface via the `cache` JSONL event only — so a warm rerun is
+/// byte-identical to the cold one.
+///
+/// # Errors
+///
+/// Aggregates per-module compile/verify failures into one message;
+/// an empty input set and cache/metrics I/O failures are also errors.
+pub fn execute_batch(cmd: &Command, inputs: &[BatchInput]) -> Result<String, String> {
+    let Command::Batch {
+        path,
+        stage,
+        alias,
+        jobs,
+        emit_metrics,
+        cache_dir,
+        no_cache,
+    } = cmd
+    else {
+        return Err("execute_batch: not a batch command".into());
+    };
+    if inputs.is_empty() {
+        return Err(format!("batch: no .c files found under `{path}`"));
+    }
+    let store = if *no_cache {
+        None
+    } else {
+        Some(open_cache(cache_dir.as_deref())?)
+    };
+    let jobs = match jobs {
+        Some(n) => *n,
+        None => atomig_par::jobs_from_env("ATOMIG_JOBS")?,
+    };
+    let pool = atomig_par::WorkerPool::new(jobs);
+    let results = pool.map(inputs, |_, inp| {
+        let mut cfg = config_for(*stage);
+        cfg.alias_mode = *alias;
+        cfg.jobs = 1;
+        cfg.cache = store.clone();
+        if let Some(c) = deterministic_clock() {
+            cfg.clock = c;
+        }
+        let mut m = atomig_frontc::compile(&inp.source, &inp.name)?;
+        let report = Pipeline::new(cfg).port_module(&mut m);
+        atomig_mir::verify_module(&m).map_err(|e| e.to_string())?;
+        Ok::<_, String>(report)
+    });
+
+    let mut failures = Vec::new();
+    let mut reports = Vec::new();
+    for (inp, res) in inputs.iter().zip(results) {
+        match res {
+            Ok(r) => reports.push((inp.name.as_str(), r)),
+            Err(e) => failures.push(format!("  {}: {e}", inp.name)),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "batch: {} of {} module(s) failed\n{}",
+            failures.len(),
+            inputs.len(),
+            failures.join("\n")
+        ));
+    }
+
+    let mut out = format!(
+        "batch report: {} module(s) from `{path}` (stage {}, {} alias, cache {})\n",
+        reports.len(),
+        stage_name(*stage),
+        alias.name(),
+        if store.is_some() { "on" } else { "off" },
+    );
+    let (mut spins, mut opts, mut sc, mut fences) = (0usize, 0usize, 0usize, 0usize);
+    let mut total = std::time::Duration::ZERO;
+    let mut cache: Option<CacheMetrics> = None;
+    for (mod_name, r) in &reports {
+        out.push_str(&format!(
+            "  {mod_name:<24} {:>3} spinloop(s) {:>3} optimistic {:>4} sc-upgrade(s) \
+             {:>4} fence(s) {:>12?}\n",
+            r.spinloops,
+            r.optiloops,
+            r.implicit_barriers_added,
+            r.explicit_barriers_added,
+            r.porting_time,
+        ));
+        spins += r.spinloops;
+        opts += r.optiloops;
+        sc += r.implicit_barriers_added;
+        fences += r.explicit_barriers_added;
+        total += r.porting_time;
+        if let Some(c) = &r.metrics.cache {
+            // Hits and misses are per-module and sum; evictions are a
+            // store-wide count every module observed, so take the max
+            // instead of overcounting.
+            let agg = cache.get_or_insert_with(CacheMetrics::default);
+            agg.hits += c.hits;
+            agg.misses += c.misses;
+            agg.evictions = agg.evictions.max(c.evictions);
+        }
+    }
+    out.push_str(&format!(
+        "totals: {spins} spinloop(s), {opts} optimistic loop(s), \
+         {sc} sc-upgrade(s), {fences} fence(s), {total:?} porting"
+    ));
+    if let Some(p) = emit_metrics {
+        let mut events = vec![meta_event("batch", path, Some(alias.name()))];
+        for (mod_name, r) in &reports {
+            events.push(phase_event(&PhaseStat {
+                name: format!("port:{mod_name}"),
+                duration: r.porting_time,
+                items: r.implicit_barriers_added + r.explicit_barriers_added,
+            }));
+        }
+        if let Some(c) = &cache {
+            events.push(cache_event(c));
+        }
+        events.push(summary_event(
+            total,
+            vec![
+                ("modules", reports.len().into()),
+                ("spinloops", spins.into()),
+                ("optiloops", opts.into()),
+                ("sc_upgraded", sc.into()),
+                ("fences_inserted", fences.into()),
+                ("cache_hits", cache.map_or(0, |c| c.hits).into()),
+                ("cache_misses", cache.map_or(0, |c| c.misses).into()),
+            ],
+        ));
+        out.push('\n');
+        out.push_str(&write_metrics(p, &events)?);
+    }
+    Ok(out)
+}
+
 /// Executes a command against already-loaded source text, returning the
 /// text to print (separated from I/O for testability).
 ///
@@ -460,12 +820,14 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             trace,
             emit_metrics,
             jobs,
+            cache_dir,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
-            if (*naive || *lasagne) && (*trace || emit_metrics.is_some()) {
+            if (*naive || *lasagne) && (*trace || emit_metrics.is_some() || cache_dir.is_some()) {
                 return Err(
-                    "--trace/--emit-metrics need the AtoMig pipeline (drop --naive/--lasagne)"
+                    "--trace/--emit-metrics/--cache-dir need the AtoMig pipeline \
+                     (drop --naive/--lasagne)"
                         .into(),
                 );
             }
@@ -491,6 +853,9 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 if let Some(c) = deterministic_clock() {
                     cfg.clock = c;
                 }
+                if let Some(d) = cache_dir {
+                    cfg.cache = Some(open_cache(Some(d))?);
+                }
                 let report = Pipeline::new(cfg).port_module(&mut module);
                 let s = format!("{report}");
                 pipeline_report = Some(report);
@@ -506,6 +871,10 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 if *trace {
                     out.push_str("\n\n");
                     out.push_str(&report.ledger.render_tree(name));
+                    if let Some(c) = &report.metrics.cache {
+                        out.push('\n');
+                        out.push_str(&cache_line(c));
+                    }
                 }
                 if let Some(path) = emit_metrics {
                     let mut events = vec![meta_event("port", name, Some(alias.name()))];
@@ -514,6 +883,9 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                     }
                     for p in &report.metrics.phases {
                         events.push(phase_event(p));
+                    }
+                    if let Some(c) = &report.metrics.cache {
+                        events.push(cache_event(c));
                     }
                     for d in report.ledger.decisions() {
                         events.push(decision_event(d));
@@ -612,6 +984,7 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             deny,
             emit_metrics,
             jobs,
+            cache_dir,
             ..
         } => {
             let mut module = atomig_frontc::compile(source, name)?;
@@ -622,6 +995,9 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
             }
             if let Some(c) = deterministic_clock() {
                 cfg.clock = c;
+            }
+            if let Some(d) = cache_dir {
+                cfg.cache = Some(open_cache(Some(d))?);
             }
             if *ported {
                 Pipeline::new(cfg.clone()).port_module(&mut module);
@@ -635,6 +1011,9 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 }
                 for p in &report.metrics.phases {
                     events.push(phase_event(p));
+                }
+                if let Some(c) = &report.metrics.cache {
+                    events.push(cache_event(c));
                 }
                 for l in &report.lints {
                     events.push(finding_event(l));
@@ -719,7 +1098,7 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
         Command::Metrics { .. } => {
             let tally =
                 trace::validate_metrics_jsonl(source).map_err(|e| format!("metrics: {e}"))?;
-            Ok(format!(
+            let mut out = format!(
                 "valid metrics stream: {} event(s) — {} phase(s), {} decision(s), \
                  {} finding(s), {} solver, {} checker; {} ns across phases\nphases: {}",
                 tally.events,
@@ -730,8 +1109,19 @@ pub fn execute(cmd: &Command, source: &str, name: &str) -> Result<String, String
                 tally.checkers,
                 tally.total_phase_nanos,
                 tally.phase_names.join(", ")
-            ))
+            );
+            if tally.caches > 0 {
+                out.push_str(&format!(
+                    "\ncache: {} hit(s), {} miss(es)",
+                    tally.cache_hits, tally.cache_misses
+                ));
+            }
+            Ok(out)
         }
+        Command::Batch { path, .. } => Err(format!(
+            "batch: `{path}` must be resolved with `discover_batch_inputs` \
+             and run through `execute_batch`"
+        )),
         Command::Run { ported, .. } => {
             let mut module = atomig_frontc::compile(source, name)?;
             if *ported {
@@ -799,6 +1189,7 @@ mod tests {
                 trace: false,
                 emit_metrics: None,
                 jobs: None,
+                cache_dir: None,
             }
         );
         assert_eq!(
@@ -816,6 +1207,7 @@ mod tests {
                 trace: true,
                 emit_metrics: Some("m.jsonl".into()),
                 jobs: None,
+                cache_dir: None,
             }
         );
         assert_eq!(
@@ -910,6 +1302,7 @@ mod tests {
                 deny: vec![LintRule::RaceCandidate],
                 emit_metrics: None,
                 jobs: None,
+                cache_dir: None,
             }
         );
         assert_eq!(
@@ -921,6 +1314,7 @@ mod tests {
                 deny: vec![LintRule::RaceCandidate],
                 emit_metrics: None,
                 jobs: None,
+                cache_dir: None,
             }
         );
         assert!(parse_args(&args("lint")).is_err());
@@ -1030,6 +1424,7 @@ mod tests {
                 trace: false,
                 emit_metrics: None,
                 jobs: Some(4),
+                cache_dir: None,
             }
         );
         match parse_args(&args("check a.c --jobs 2")).unwrap() {
@@ -1163,5 +1558,208 @@ mod tests {
         let cmd = parse_args(&args("port mp.c --lasagne --report")).unwrap();
         let out = execute(&cmd, MP, "mp").unwrap();
         assert!(out.contains("lasagne port"), "{out}");
+    }
+
+    fn tmp_dir(tag: &str) -> String {
+        let d = std::env::temp_dir().join(format!("atomig-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parses_batch_command() {
+        assert_eq!(
+            parse_args(&args("batch examples --jobs 2 --alias points-to")).unwrap(),
+            Command::Batch {
+                path: "examples".into(),
+                stage: Stage::Full,
+                alias: AliasMode::PointsTo,
+                jobs: Some(2),
+                emit_metrics: None,
+                cache_dir: None,
+                no_cache: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "batch list.txt --stage spin --no-cache --emit-metrics b.jsonl"
+            ))
+            .unwrap(),
+            Command::Batch {
+                path: "list.txt".into(),
+                stage: Stage::Spin,
+                alias: AliasMode::TypeBased,
+                jobs: None,
+                emit_metrics: Some("b.jsonl".into()),
+                cache_dir: None,
+                no_cache: true,
+            }
+        );
+        assert!(parse_args(&args("batch")).is_err());
+        assert!(parse_args(&args("batch d --bogus")).is_err());
+        let err = parse_args(&args("batch d --cache-dir c --no-cache")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn cache_dir_flag_round_trips_on_port_and_lint() {
+        match parse_args(&args("port a.c --cache-dir .cache")).unwrap() {
+            Command::Port { cache_dir, .. } => assert_eq!(cache_dir.as_deref(), Some(".cache")),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("lint a.c --cache-dir .cache")).unwrap() {
+            Command::Lint { cache_dir, .. } => assert_eq!(cache_dir.as_deref(), Some(".cache")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("port a.c --cache-dir")).is_err());
+        // `check` has no detection phase to cache.
+        assert!(parse_args(&args("check a.c --cache-dir c")).is_err());
+        // Baselines skip the pipeline entirely, so a cache is an error.
+        let cmd = parse_args(&args("port mp.c --naive --cache-dir c")).unwrap();
+        let err = execute(&cmd, MP, "mp").unwrap_err();
+        assert!(err.contains("AtoMig pipeline"), "{err}");
+    }
+
+    #[test]
+    fn read_source_names_directories_and_suggests_batch() {
+        let d = tmp_dir("readdir");
+        let err = read_source(&d).unwrap_err();
+        assert!(err.contains("is a directory"), "{err}");
+        assert!(err.contains(&format!("atomig batch {d}")), "{err}");
+        std::fs::remove_dir_all(&d).ok();
+        // Regular missing files keep the OS error text.
+        let err = read_source("definitely-missing.c").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn discover_handles_dirs_files_and_manifests() {
+        let d = tmp_dir("discover");
+        std::fs::create_dir_all(format!("{d}/sub")).unwrap();
+        std::fs::write(format!("{d}/b.c"), "int main() { return 0; }").unwrap();
+        std::fs::write(format!("{d}/sub/a.c"), "int x;").unwrap();
+        std::fs::write(format!("{d}/notes.txt"), "not C").unwrap();
+        let got = discover_batch_inputs(&d).unwrap();
+        assert_eq!(
+            got.iter().map(|i| i.name.as_str()).collect::<Vec<_>>(),
+            vec!["b", "a"],
+            "sorted by path: {d}/b.c before {d}/sub/a.c"
+        );
+        // A single .c file is a one-module batch.
+        let got = discover_batch_inputs(&format!("{d}/b.c")).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "b");
+        // A manifest resolves entries relative to its own directory.
+        std::fs::write(format!("{d}/list.txt"), "# comment\n\nb.c\nsub/a.c\n").unwrap();
+        let got = discover_batch_inputs(&format!("{d}/list.txt")).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "b");
+        assert_eq!(got[1].name, "a");
+        assert!(discover_batch_inputs(&format!("{d}/missing.txt")).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn batch_runs_cold_then_warm_with_identical_reports() {
+        let cache = tmp_dir("batch-cache");
+        let cmd = Command::Batch {
+            path: "mem".into(),
+            stage: Stage::Full,
+            alias: AliasMode::TypeBased,
+            jobs: Some(2),
+            emit_metrics: None,
+            cache_dir: Some(cache.clone()),
+            no_cache: false,
+        };
+        let inputs = vec![
+            BatchInput {
+                name: "mp".into(),
+                source: MP.into(),
+            },
+            BatchInput {
+                name: "seqlock_alias".into(),
+                source: SEQLOCK.into(),
+            },
+        ];
+        std::env::set_var("ATOMIG_DETERMINISTIC", "1");
+        let cold = execute_batch(&cmd, &inputs).unwrap();
+        let warm = execute_batch(&cmd, &inputs).unwrap();
+        std::env::remove_var("ATOMIG_DETERMINISTIC");
+        assert_eq!(cold, warm, "warm batch output must be byte-identical");
+        assert!(cold.contains("batch report: 2 module(s)"), "{cold}");
+        assert!(cold.contains("totals:"), "{cold}");
+        assert!(!cold.contains("cache:"), "counters must stay out: {cold}");
+
+        // The metrics stream is where the counters live: warm = all hits.
+        let p = tmp("batch-metrics");
+        let with_metrics = Command::Batch {
+            path: "mem".into(),
+            stage: Stage::Full,
+            alias: AliasMode::TypeBased,
+            jobs: Some(2),
+            emit_metrics: Some(p.clone()),
+            cache_dir: Some(cache.clone()),
+            no_cache: false,
+        };
+        std::env::set_var("ATOMIG_DETERMINISTIC", "1");
+        execute_batch(&with_metrics, &inputs).unwrap();
+        std::env::remove_var("ATOMIG_DETERMINISTIC");
+        let text = std::fs::read_to_string(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_dir_all(&cache).ok();
+        let tally = atomig_core::validate_metrics_jsonl(&text).unwrap();
+        assert_eq!(tally.caches, 1, "{text}");
+        assert!(tally.cache_hits > 0 && tally.cache_misses == 0, "{text}");
+        assert!(tally.phase_names.iter().any(|n| n == "port:mp"), "{text}");
+        // The metrics subcommand surfaces the tallied counters.
+        let out = execute(&parse_args(&args("metrics b.jsonl")).unwrap(), &text, "b").unwrap();
+        assert!(out.contains("cache:") && out.contains("hit(s)"), "{out}");
+    }
+
+    #[test]
+    fn batch_rejects_empty_input_sets_and_aggregates_failures() {
+        let cmd = Command::Batch {
+            path: "empty".into(),
+            stage: Stage::Full,
+            alias: AliasMode::TypeBased,
+            jobs: Some(1),
+            emit_metrics: None,
+            cache_dir: None,
+            no_cache: true,
+        };
+        let err = execute_batch(&cmd, &[]).unwrap_err();
+        assert!(err.contains("no .c files"), "{err}");
+        let inputs = vec![
+            BatchInput {
+                name: "good".into(),
+                source: "int main() { return 0; }".into(),
+            },
+            BatchInput {
+                name: "bad".into(),
+                source: "int main() { return nope; }".into(),
+            },
+        ];
+        let err = execute_batch(&cmd, &inputs).unwrap_err();
+        assert!(err.contains("1 of 2 module(s) failed"), "{err}");
+        assert!(err.contains("bad:"), "{err}");
+    }
+
+    #[test]
+    fn port_trace_appends_cache_counters_only_with_a_cache() {
+        let cache = tmp_dir("port-cache");
+        let cmd = parse_args(&args(&format!(
+            "port mp.c --report --trace --cache-dir {cache}"
+        )))
+        .unwrap();
+        let cold = execute(&cmd, MP, "mp").unwrap();
+        assert!(cold.contains("cache: 0 hit(s)"), "{cold}");
+        let warm = execute(&cmd, MP, "mp").unwrap();
+        std::fs::remove_dir_all(&cache).ok();
+        assert!(warm.contains("miss(es)"), "{warm}");
+        assert!(!warm.contains(" 0 hit(s)"), "warm run must hit: {warm}");
+        // Without --cache-dir the trace has no cache line at all.
+        let cmd = parse_args(&args("port mp.c --report --trace")).unwrap();
+        let out = execute(&cmd, MP, "mp").unwrap();
+        assert!(!out.contains("cache:"), "{out}");
     }
 }

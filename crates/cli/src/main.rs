@@ -17,6 +17,25 @@ fn main() -> ExitCode {
             println!("{}", atomig_cli::USAGE);
             return ExitCode::SUCCESS;
         }
+        atomig_cli::Command::Batch { path, .. } => {
+            let inputs = match atomig_cli::discover_batch_inputs(path) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            return match atomig_cli::execute_batch(&cmd, &inputs) {
+                Ok(out) => {
+                    println!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         atomig_cli::Command::Port { file, .. }
         | atomig_cli::Command::Check { file, .. }
         | atomig_cli::Command::Run { file, .. }
@@ -24,19 +43,14 @@ fn main() -> ExitCode {
         | atomig_cli::Command::Explain { file, .. }
         | atomig_cli::Command::Metrics { file } => file.clone(),
     };
-    let source = match std::fs::read_to_string(&file) {
+    let source = match atomig_cli::read_source(&file) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read `{file}`: {e}");
+            eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-    let name = file
-        .rsplit('/')
-        .next()
-        .unwrap_or(&file)
-        .trim_end_matches(".c");
-    match atomig_cli::execute(&cmd, &source, name) {
+    match atomig_cli::execute(&cmd, &source, atomig_cli::module_name(&file)) {
         Ok(out) => {
             println!("{out}");
             ExitCode::SUCCESS

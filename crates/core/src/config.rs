@@ -91,6 +91,11 @@ pub struct AtomigConfig {
     /// parallelism; output is byte-identical for any value (the
     /// deterministic-merge contract in `atomig_par`).
     pub jobs: usize,
+    /// Content-addressed artifact store consulted before per-function
+    /// detection ([`crate::cache`]). `None` (the default) analyzes every
+    /// function from scratch; warm-cache output is byte-identical to cold
+    /// by construction, so sharing one store across runs is always safe.
+    pub cache: Option<std::sync::Arc<atomig_cache::CacheStore>>,
 }
 
 impl AtomigConfig {
@@ -107,6 +112,7 @@ impl AtomigConfig {
             volatile_blacklist: Vec::new(),
             clock: crate::trace::Clock::system(),
             jobs: atomig_par::available_parallelism(),
+            cache: None,
         }
     }
 
@@ -139,6 +145,7 @@ impl AtomigConfig {
             volatile_blacklist: Vec::new(),
             clock: crate::trace::Clock::system(),
             jobs: atomig_par::available_parallelism(),
+            cache: None,
         }
     }
 }

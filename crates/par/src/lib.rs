@@ -18,16 +18,23 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// Resolve a job count from an environment variable (e.g. `ATOMIG_JOBS`),
-/// falling back to [`available_parallelism`] when unset or unparsable.
-/// A value of `0` also falls back, so `ATOMIG_JOBS=0` means "auto".
-pub fn jobs_from_env(var: &str) -> usize {
+/// Resolve a job count from an environment variable (e.g. `ATOMIG_JOBS`).
+/// Unset, empty, or `0` fall back to [`available_parallelism`] ("auto");
+/// anything else must parse as a positive integer.
+///
+/// # Errors
+///
+/// Returns a named parse error — consistent with the CLI's `--jobs N`
+/// diagnostics — instead of silently ignoring a typo like
+/// `ATOMIG_JOBS=lots`.
+pub fn jobs_from_env(var: &str) -> Result<usize, String> {
     match std::env::var(var) {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => available_parallelism(),
+        Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
+            Ok(0) => Ok(available_parallelism()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("{var}: `{v}` is not a thread count")),
         },
-        Err(_) => available_parallelism(),
+        _ => Ok(available_parallelism()),
     }
 }
 
@@ -151,21 +158,32 @@ mod tests {
     fn env_job_resolution_prefers_positive_integers() {
         assert!(available_parallelism() >= 1);
         std::env::set_var("ATOMIG_PAR_TEST_JOBS", "3");
-        assert_eq!(jobs_from_env("ATOMIG_PAR_TEST_JOBS"), 3);
+        assert_eq!(jobs_from_env("ATOMIG_PAR_TEST_JOBS"), Ok(3));
+        // `0` and empty mean "auto", like an absent variable.
         std::env::set_var("ATOMIG_PAR_TEST_JOBS", "0");
         assert_eq!(
             jobs_from_env("ATOMIG_PAR_TEST_JOBS"),
-            available_parallelism()
+            Ok(available_parallelism())
         );
-        std::env::set_var("ATOMIG_PAR_TEST_JOBS", "lots");
+        std::env::set_var("ATOMIG_PAR_TEST_JOBS", " ");
         assert_eq!(
             jobs_from_env("ATOMIG_PAR_TEST_JOBS"),
-            available_parallelism()
+            Ok(available_parallelism())
         );
         std::env::remove_var("ATOMIG_PAR_TEST_JOBS");
         assert_eq!(
             jobs_from_env("ATOMIG_PAR_TEST_JOBS"),
-            available_parallelism()
+            Ok(available_parallelism())
         );
+        // A typo is an error, not a silent fallback.
+        std::env::set_var("ATOMIG_PAR_TEST_JOBS", "lots");
+        let err = jobs_from_env("ATOMIG_PAR_TEST_JOBS").unwrap_err();
+        assert!(
+            err.contains("ATOMIG_PAR_TEST_JOBS") && err.contains("`lots`"),
+            "{err}"
+        );
+        std::env::set_var("ATOMIG_PAR_TEST_JOBS", "-2");
+        assert!(jobs_from_env("ATOMIG_PAR_TEST_JOBS").is_err());
+        std::env::remove_var("ATOMIG_PAR_TEST_JOBS");
     }
 }

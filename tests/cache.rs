@@ -1,0 +1,208 @@
+//! The incremental-analysis cache, end to end: warm runs skip exactly
+//! the unchanged functions and change no output byte.
+//!
+//! Invariants exercised here, for both alias backends:
+//!
+//! * a cold run misses every function and a warm rerun hits every one;
+//! * editing one function in a two-function module invalidates only its
+//!   fingerprint — the other function still hits;
+//! * every rendered artifact (report, transformed IR, ledger tree) is
+//!   byte-identical with a cold, warm, or partially-warm cache;
+//! * the lint dry run consults the same store as `port`;
+//! * `execute_batch` reruns are byte-identical and surface the counters
+//!   only through the metrics stream.
+
+use atomig_core::trace::Clock;
+use atomig_core::{lint_module, AliasMode, AtomigConfig, Pipeline};
+use atomig_testutil::ManualClock;
+use std::sync::Arc;
+
+const SEQLOCK: &str = include_str!("../examples/seqlock_alias.c");
+
+/// Two independent functions: editing one must not invalidate the other.
+const TWO_FUNCS: &str = r#"
+    int flag; int msg; int other;
+    void writer(long u) { msg = 1; flag = 1; }
+    int reader() {
+        while (flag == 0) { }
+        return msg;
+    }
+    int untouched() { other = other + 1; return other; }
+"#;
+
+/// `TWO_FUNCS` with only `untouched` edited.
+const TWO_FUNCS_EDITED: &str = r#"
+    int flag; int msg; int other;
+    void writer(long u) { msg = 1; flag = 1; }
+    int reader() {
+        while (flag == 0) { }
+        return msg;
+    }
+    int untouched() { other = other + 2; return other; }
+"#;
+
+fn tmp_dir(tag: &str) -> String {
+    let d = std::env::temp_dir().join(format!("atomig-cache-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d.to_string_lossy().into_owned()
+}
+
+fn config(alias: AliasMode, cache_dir: Option<&str>) -> AtomigConfig {
+    let mut cfg = AtomigConfig::full();
+    cfg.alias_mode = alias;
+    // Inlining copies callee bodies into callers, which would let one
+    // edit ripple into other functions' fingerprints; keep functions
+    // independent so the invalidation counts below are exact.
+    cfg.inline = false;
+    let clock = Arc::new(ManualClock::new(1000));
+    cfg.clock = Clock::from_fn(move || clock.now());
+    if let Some(d) = cache_dir {
+        cfg.cache = Some(Arc::new(
+            atomig_cache::CacheStore::open(Some(d)).expect("cache opens"),
+        ));
+    }
+    cfg
+}
+
+/// Ports `source` and renders every printable artifact plus the counters.
+fn port(source: &str, alias: AliasMode, dir: Option<&str>) -> (String, Option<(usize, usize)>) {
+    let mut m = atomig_frontc::compile(source, "m").expect("compiles");
+    let report = Pipeline::new(config(alias, dir)).port_module(&mut m);
+    let text = format!(
+        "== report ==\n{report}\n== ir ==\n{}\n== ledger ==\n{}",
+        atomig_mir::printer::print_module(&m),
+        report.ledger.render_tree("m"),
+    );
+    (text, report.metrics.cache.map(|c| (c.hits, c.misses)))
+}
+
+#[test]
+fn warm_runs_hit_every_function_and_change_no_byte() {
+    for alias in [AliasMode::TypeBased, AliasMode::PointsTo] {
+        let dir = tmp_dir(&format!("warm-{}", alias.name()));
+        let (no_cache, counters) = port(SEQLOCK, alias, None);
+        assert_eq!(counters, None, "no store configured, no counters");
+        let (cold, counters) = port(SEQLOCK, alias, Some(&dir));
+        let (hits, misses) = counters.expect("store configured");
+        assert_eq!(hits, 0, "{alias:?}");
+        assert!(misses > 1, "{alias:?}: expected several functions");
+        let (warm, counters) = port(SEQLOCK, alias, Some(&dir));
+        assert_eq!(counters, Some((misses, 0)), "{alias:?}: warm = all hits");
+        assert_eq!(cold, no_cache, "{alias:?}: caching must not alter output");
+        assert_eq!(cold, warm, "{alias:?}: warm must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn editing_one_function_invalidates_only_its_fingerprint() {
+    for alias in [AliasMode::TypeBased, AliasMode::PointsTo] {
+        let dir = tmp_dir(&format!("edit-{}", alias.name()));
+        let (_, counters) = port(TWO_FUNCS, alias, Some(&dir));
+        let (_, misses) = counters.unwrap();
+        assert!(misses >= 3, "writer, reader, untouched all analyzed");
+        // Rerun with one function edited: exactly one miss.
+        let (warm_edited, counters) = port(TWO_FUNCS_EDITED, alias, Some(&dir));
+        assert_eq!(
+            counters,
+            Some((misses - 1, 1)),
+            "{alias:?}: only `untouched` may re-analyze"
+        );
+        // The partially-warm report matches a from-scratch analysis of
+        // the edited module byte for byte.
+        let (cold_edited, _) = port(TWO_FUNCS_EDITED, alias, None);
+        assert_eq!(warm_edited, cold_edited, "{alias:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn lint_dry_run_shares_the_port_cache() {
+    for alias in [AliasMode::TypeBased, AliasMode::PointsTo] {
+        let dir = tmp_dir(&format!("lint-{}", alias.name()));
+        let m = atomig_frontc::compile(SEQLOCK, "m").expect("compiles");
+        let cold = lint_module(&m, &config(alias, Some(&dir)));
+        let c = cold.metrics.cache.expect("counters present");
+        assert_eq!(c.hits, 0, "{alias:?}");
+        assert!(c.misses > 0, "{alias:?}");
+        let warm = lint_module(&m, &config(alias, Some(&dir)));
+        let w = warm.metrics.cache.expect("counters present");
+        assert_eq!((w.hits, w.misses), (c.misses, 0), "{alias:?}");
+        assert_eq!(cold.to_string(), warm.to_string(), "{alias:?}");
+        // The lint dry run mirrors `port` detection exactly, so a port
+        // over the same module is already fully warm too.
+        let (_, counters) = port(SEQLOCK, alias, Some(&dir));
+        assert_eq!(counters, Some((c.misses, 0)), "{alias:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn corrupt_store_contents_degrade_to_misses() {
+    let dir = tmp_dir("corrupt");
+    let (cold, counters) = port(SEQLOCK, AliasMode::TypeBased, Some(&dir));
+    let (_, misses) = counters.unwrap();
+    // Truncate every stored artifact; decoding fails closed and the run
+    // re-analyzes everything, output unchanged.
+    let version_dir = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.is_dir())
+        .expect("version dir exists");
+    for entry in std::fs::read_dir(&version_dir).unwrap() {
+        std::fs::write(entry.unwrap().path(), "garbage").unwrap();
+    }
+    let (rerun, counters) = port(SEQLOCK, AliasMode::TypeBased, Some(&dir));
+    assert_eq!(counters, Some((0, misses)), "all artifacts re-derived");
+    assert_eq!(cold, rerun);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_is_byte_identical_cold_and_warm_for_both_backends() {
+    use atomig_cli::{execute_batch, BatchInput, Command};
+    std::env::set_var("ATOMIG_DETERMINISTIC", "1");
+    let inputs = vec![
+        BatchInput {
+            name: "two_funcs".into(),
+            source: TWO_FUNCS.into(),
+        },
+        BatchInput {
+            name: "seqlock_alias".into(),
+            source: SEQLOCK.into(),
+        },
+    ];
+    for alias in [AliasMode::TypeBased, AliasMode::PointsTo] {
+        let dir = tmp_dir(&format!("batch-{}", alias.name()));
+        let metrics_path = format!("{dir}/run.jsonl");
+        let cmd = |jobs: usize| Command::Batch {
+            path: "mem".into(),
+            stage: atomig_core::Stage::Full,
+            alias,
+            jobs: Some(jobs),
+            emit_metrics: Some(metrics_path.clone()),
+            cache_dir: Some(format!("{dir}/store")),
+            no_cache: false,
+        };
+        let cold = execute_batch(&cmd(1), &inputs).unwrap();
+        let cold_metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        let cold_tally = atomig_core::validate_metrics_jsonl(&cold_metrics).unwrap();
+        assert!(cold_tally.cache_misses > 0, "{alias:?}: {cold_metrics}");
+        assert_eq!(cold_tally.cache_hits, 0, "{alias:?}");
+        for jobs in [1, 4] {
+            let warm = execute_batch(&cmd(jobs), &inputs).unwrap();
+            assert_eq!(cold, warm, "{alias:?}: warm batch diverged at jobs={jobs}");
+            let tally = atomig_core::validate_metrics_jsonl(
+                &std::fs::read_to_string(&metrics_path).unwrap(),
+            )
+            .unwrap();
+            assert_eq!(
+                (tally.cache_hits, tally.cache_misses),
+                (cold_tally.cache_misses, 0),
+                "{alias:?}: zero re-analysis at jobs={jobs}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::env::remove_var("ATOMIG_DETERMINISTIC");
+}
